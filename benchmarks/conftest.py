@@ -1,0 +1,43 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper artifact (table or figure), prints
+the rows the paper reports, and archives them under ``results/``.
+
+Fidelity is environment-controlled:
+
+* ``REPRO_SCALE``   — machine scale factor (default 0.1 here: a 2-3 core
+  slice with all capacity ratios preserved; set 1.0 for the full 24-core
+  machine, at ~100x the runtime);
+* ``REPRO_MEASURE`` — multiplier on measured request counts (default 0.5).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    scale = float(os.environ.get("REPRO_SCALE", 0.1))
+    measure = float(os.environ.get("REPRO_MEASURE", 0.5))
+    return ExperimentSettings(scale=scale, measure_multiplier=measure)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a figure's rows and archive them."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,147 @@
+"""Ablation benches for the design choices DESIGN.md calls out, plus
+micro-benchmarks of the simulator's hot paths."""
+
+import dataclasses
+
+from repro.engine.tracer import TraceConfig, TraceSimulator
+from repro.experiments.common import kvs_system, kvs_workload
+from repro.report.tables import Table
+from repro.traffic import MemCategory
+from repro.workloads.zipf import ZipfGenerator
+
+from benchmarks.conftest import emit
+
+
+def _trace(settings, replacement=None, victim_fill_clean=False,
+           in_place=True, sweeper=False, queued_depth=1, ways=2):
+    system = kvs_system(settings.scale, 1024, ways, 1024)
+    if replacement is not None:
+        system = system.replace(
+            llc=dataclasses.replace(system.llc, replacement=replacement)
+        )
+    workload = kvs_workload(settings.scale, 1024)
+    workload.params = dataclasses.replace(
+        workload.params, update_in_place=in_place
+    )
+    cfg = TraceConfig(system=system, workload=workload, policy="ddio",
+                      sweeper=sweeper, queued_depth=queued_depth)
+    cfg.measure_requests = settings.measure_requests(cfg)
+    sim = TraceSimulator(cfg)
+    sim.hier.victim_fill_clean = victim_fill_clean
+    return sim.run()
+
+
+def test_ablation_llc_replacement(benchmark, settings, results_dir):
+    """Random vs LRU LLC replacement: random softens the ring-cycling
+    cliff into the proportional survival the paper's gradient shows."""
+
+    def run():
+        return {
+            repl: _trace(settings, replacement=repl, ways=6)
+            for repl in ("random", "lru")
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(["LLC replacement", "RX Evct/req", "Mem acc/req"],
+              title="Ablation: LLC replacement policy (6-way DDIO)")
+    for repl, trace in out.items():
+        t.add_row(repl, trace.per_request()[MemCategory.RX_EVCT],
+                  trace.mem_accesses_per_request())
+    emit(results_dir, "ablation_replacement", t.render())
+
+
+def test_ablation_clean_victim_fills(benchmark, settings, results_dir):
+    """§VI-C runaway buffers: clean L2-victim fills let prematurely
+    evicted buffers park outside the DDIO ways."""
+
+    def run():
+        return {
+            fill: _trace(settings, victim_fill_clean=fill, queued_depth=64)
+            for fill in (False, True)
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(
+        ["Clean victim fills", "CPU RX Rd/req", "RX Evct/req",
+         "RX blocks in LLC"],
+        title="Ablation: clean-victim LLC fills under deep queues",
+    )
+    from repro.mem.layout import RegionKind
+
+    for fill, trace in out.items():
+        per = trace.per_request()
+        t.add_row(
+            "on" if fill else "off",
+            per[MemCategory.CPU_RX_RD],
+            per[MemCategory.RX_EVCT],
+            trace.llc_occupancy_by_kind[RegionKind.RX_BUFFER],
+        )
+    emit(results_dir, "ablation_clean_fills", t.render())
+    assert (
+        out[True].llc_occupancy_by_kind[RegionKind.RX_BUFFER]
+        >= out[False].llc_occupancy_by_kind[RegionKind.RX_BUFFER]
+    )
+
+
+def test_ablation_kvs_update_mode(benchmark, settings, results_dir):
+    """In-place item updates (HERD-style) vs log appends: appends stream
+    dirty data through the LLC and triple the app-side traffic."""
+
+    def run():
+        return {
+            mode: _trace(settings, in_place=(mode == "in-place"))
+            for mode in ("in-place", "append")
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(["SET mode", "CPU Other Rd/req", "Other Evct/req"],
+              title="Ablation: KVS SET update mode")
+    for mode, trace in out.items():
+        per = trace.per_request()
+        t.add_row(mode, per[MemCategory.CPU_OTHER_RD],
+                  per[MemCategory.OTHER_EVCT])
+    emit(results_dir, "ablation_kvs_mode", t.render())
+    assert (
+        out["append"].per_request()[MemCategory.OTHER_EVCT]
+        > out["in-place"].per_request()[MemCategory.OTHER_EVCT]
+    )
+
+
+def test_microbench_cache_access(benchmark):
+    """Raw simulator throughput: one cpu_read on a warm hierarchy."""
+    from repro.cache.hierarchy import CacheHierarchy
+    from repro.mem.layout import RegionKind
+    from repro.params import SystemConfig
+
+    hier = CacheHierarchy(SystemConfig().scaled(0.125))
+    blocks = list(range(4096))
+    for b in blocks:
+        hier.cpu_read(0, b, RegionKind.APP)
+    i = 0
+
+    def access():
+        nonlocal i
+        i = (i + 1) % 4096
+        hier.cpu_read(0, blocks[i], RegionKind.APP)
+
+    benchmark(access)
+
+
+def test_microbench_sweep(benchmark):
+    """clsweep cost: invalidate one resident block across three levels."""
+    from repro.cache.hierarchy import CacheHierarchy
+    from repro.mem.layout import RegionKind
+    from repro.params import SystemConfig
+
+    hier = CacheHierarchy(SystemConfig().scaled(0.125))
+
+    def sweep():
+        hier.nic_llc_write(0, 7, RegionKind.RX_BUFFER)
+        hier.sweep_block(0, 7)
+
+    benchmark(sweep)
+
+
+def test_microbench_zipf_sampling(benchmark):
+    z = ZipfGenerator(300_000)
+    benchmark(z.sample)

@@ -1,0 +1,44 @@
+"""Figure 10: shallow vs deep buffering under spiky service times."""
+
+from repro.experiments import fig10
+from repro.report.tables import Table
+
+from benchmarks.conftest import emit
+
+
+def _tables(result) -> str:
+    peaks = result.series["peak_no_drop_mrps"]
+    t = Table(["Buffers", "Baseline peak (scaled Mrps)", "Sweeper peak"],
+              title="Figure 10a: no-drop peak throughput")
+    for buffers in fig10.BUFFER_SWEEP:
+        t.add_row(buffers, peaks[(buffers, False)], peaks[(buffers, True)])
+    lines = [t.render(), "", "Figure 10b: drop rate vs offered load"]
+    for curve in result.series["drop_curves"]:
+        pairs = "  ".join(
+            f"{x:.2f}->{100 * d:.2f}%"
+            for x, d in zip(curve.offered_mrps, curve.drop_rate)
+        )
+        lines.append(f"  {curve.label:22s} {pairs}")
+    return "\n".join(lines)
+
+
+def test_fig10(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig10.run(settings=settings, packets_per_core=8000),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "fig10_shallow", result.render() + "\n\n" + _tables(result))
+
+    peaks = result.series["peak_no_drop_mrps"]
+    # Deeper buffering beats shallow on drop-free throughput (paper: 3.3x
+    # for its best depth), and 2048 + Sweeper beats every baseline depth
+    # (paper: 3.7x over shallow).
+    best_base = max(peaks[(b, False)] for b in fig10.BUFFER_SWEEP)
+    assert best_base > 1.2 * peaks[(128, False)]
+    assert peaks[(2048, True)] >= best_base
+    # Drop curves are (noise-tolerant) monotone in offered load.
+    for curve in result.series["drop_curves"]:
+        assert all(
+            b >= a - 0.02 for a, b in zip(curve.drop_rate, curve.drop_rate[1:])
+        )

@@ -1,0 +1,25 @@
+"""Figure 1: KVS under DMA / DDIO{2,4,6} / ideal across buffer depths."""
+
+from repro.experiments import fig1
+from repro.traffic import MemCategory
+
+from benchmarks.conftest import emit
+
+
+def test_fig1(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig1.run(settings=settings), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig1_kvs_leaks", result.render())
+
+    for buffers in fig1.BUFFER_SWEEP:
+        dma = result.point(f"{buffers} bufs / DMA")
+        ddio = result.point(f"{buffers} bufs / DDIO 4 Ways")
+        ideal = result.point(f"{buffers} bufs / Ideal DDIO")
+        # Paper: DDIO yields up to 2.1x over DMA; ideal bounds everything.
+        assert ddio.throughput_mrps > dma.throughput_mrps
+        assert ideal.throughput_mrps >= 0.95 * ddio.throughput_mrps
+        # Consumed evictions dominate; premature negligible (§IV-A).
+        b = ddio.breakdown
+        if b[MemCategory.RX_EVCT] > 0.5:
+            assert b[MemCategory.CPU_RX_RD] < 0.2 * b[MemCategory.RX_EVCT]

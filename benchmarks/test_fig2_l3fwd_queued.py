@@ -1,0 +1,23 @@
+"""Figure 2: L3fwd with D queued packets per core (premature evictions)."""
+
+from repro.experiments import fig2
+from repro.traffic import MemCategory
+
+from benchmarks.conftest import emit
+
+
+def test_fig2(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig2.run(settings=settings), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig2_l3fwd_queued", result.render())
+
+    # Premature evictions (CPU RX Rd) grow with D, strongest at 2-way.
+    d50 = result.point("D=50 / DDIO 2 Ways").breakdown
+    d450 = result.point("D=450 / DDIO 2 Ways").breakdown
+    assert d450[MemCategory.CPU_RX_RD] > d50[MemCategory.CPU_RX_RD]
+    w12 = result.point("D=450 / DDIO 12 Ways").breakdown
+    assert w12[MemCategory.CPU_RX_RD] < d450[MemCategory.CPU_RX_RD]
+    # Ideal-DDIO bandwidth negligible (L3fwd dataset is cache-resident).
+    ideal = result.point("D=450 / Ideal DDIO")
+    assert ideal.trace.mem_accesses_per_request() < 3.0

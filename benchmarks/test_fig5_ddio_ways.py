@@ -1,0 +1,33 @@
+"""Figure 5: the central grid — DDIO ways x Sweeper x packet x buffers."""
+
+from repro.experiments import fig5
+from repro.traffic import MemCategory
+
+from benchmarks.conftest import emit
+
+
+def test_fig5(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig5.run(settings=settings), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig5_ddio_ways", result.render())
+
+    assert result.series["sweeper_gain_min"] >= 0.95
+    assert result.series["sweeper_gain_max"] >= 1.5
+
+    for packet in fig5.PACKET_SIZES:
+        for buffers in fig5.BUFFER_SWEEP:
+            base = result.point(
+                fig5.point_label(packet, buffers, "ddio", 2, False)
+            )
+            sw = result.point(fig5.point_label(packet, buffers, "ddio", 2, True))
+            ideal = result.point(
+                fig5.point_label(packet, buffers, "ideal", 2, False)
+            )
+            # Sweeper wipes out consumed-buffer evictions...
+            if base.breakdown[MemCategory.RX_EVCT] > 0.5:
+                assert sw.breakdown[MemCategory.RX_EVCT] < 0.15 * (
+                    base.breakdown[MemCategory.RX_EVCT]
+                )
+            # ...and lands near the unrealizable ideal (paper: within 2-18%).
+            assert sw.throughput_mrps >= 0.7 * ideal.throughput_mrps

@@ -1,0 +1,53 @@
+"""Figure 6: loaded memory-latency CDFs, peak and iso-throughput panels."""
+
+import numpy as np
+
+from repro.engine.events import sample_memory_latencies
+from repro.experiments import fig6
+from repro.report.tables import Table
+
+from benchmarks.conftest import emit
+
+
+def _panel_table(title, curves) -> str:
+    t = Table(
+        ["Configuration", "Throughput (Mrps, scaled)", "Mean lat (cyc)",
+         "p99 lat (cyc)"],
+        title=title,
+    )
+    for c in curves:
+        t.add_row(c.label, c.throughput_mrps, c.mean_cycles, c.p99_cycles)
+    return t.render()
+
+
+def test_fig6(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig6.run(settings=settings), rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [
+            result.render(),
+            _panel_table("Left panel: each config at its own peak",
+                         result.series["at_peak"]),
+            _panel_table(
+                "Right panel: iso-throughput at the 2-way DDIO peak "
+                f"({result.series['iso_throughput_mrps']:.2f} scaled Mrps)",
+                result.series["iso_throughput"],
+            ),
+        ]
+    )
+    emit(results_dir, "fig6_latency_cdf", text)
+
+    curves = fig6.curves_by_label(result, "iso_throughput")
+    base = curves["DDIO 2 Ways"]
+    sw = curves["DDIO 2 Ways + Sweeper"]
+    assert sw.mean_cycles < base.mean_cycles
+    assert sw.p99_cycles < base.p99_cycles
+
+    # Cross-check the closed-form curve with the event-driven DRAM
+    # sampler at the baseline's operating bandwidth.
+    point = result.point("DDIO 2 Ways")
+    empirical = sample_memory_latencies(
+        point.system, point.mem_bandwidth_gbps, num_accesses=30000
+    )
+    assert np.mean(empirical) > point.system.memory.idle_latency_cycles

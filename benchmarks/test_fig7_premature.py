@@ -1,0 +1,20 @@
+"""Figure 7: Sweeper's effect under premature buffer evictions."""
+
+import pytest
+
+from repro.experiments import fig7
+
+from benchmarks.conftest import emit
+
+
+def test_fig7(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig7.run(settings=settings), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig7_premature", result.render())
+
+    gains = result.series["sweeper_gains"]
+    assert min(gains) > 1.0  # Sweeper helps even with premature evictions
+    # Figure 7b signature: residual RX Evct == CPU RX Rd with Sweeper.
+    for rx_evct, rx_rd in result.series["residual_match"]:
+        assert rx_evct == pytest.approx(rx_rd, rel=0.15, abs=0.05)

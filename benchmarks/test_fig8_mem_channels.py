@@ -1,0 +1,32 @@
+"""Figure 8: sensitivity to memory-channel provisioning (3/4/8)."""
+
+from repro.experiments import fig8
+from repro.report.tables import Table
+
+from benchmarks.conftest import emit
+
+
+def test_fig8(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig8.run(settings=settings), rounds=1, iterations=1
+    )
+    gains = result.series["sweeper_gain_by_channels"]
+    t = Table(["Channels", "Sweeper gain (min)", "Sweeper gain (max)"],
+              title="Sweeper gain vs memory provisioning")
+    for ch, (lo, hi) in gains.items():
+        t.add_row(ch, lo, hi)
+    emit(results_dir, "fig8_mem_channels", result.render() + "\n\n" + t.render())
+
+    # Paper shape: the gain grows as channels shrink and persists at 8.
+    assert gains[3][1] >= gains[4][1] >= gains[8][1]
+    assert gains[8][1] > 1.1
+    # Throughput rises with channel count for every DDIO config.
+    for packet, buffers in fig8.SCENARIOS:
+        for ways in fig8.DDIO_WAYS:
+            series = [
+                result.point(
+                    f"{packet}B/{buffers} bufs / {ch}ch / DDIO {ways} Ways"
+                ).throughput_mrps
+                for ch in fig8.CHANNELS
+            ]
+            assert series == sorted(series)

@@ -1,0 +1,49 @@
+"""Figure 9: collocated L3fwd + X-Mem, partitioned and overlapping."""
+
+from repro.experiments import fig9
+from repro.report.tables import Table
+
+from benchmarks.conftest import emit
+
+
+def _frontier_table(result) -> str:
+    t = Table(
+        ["(DDIO, X-Mem) ways", "Sweeper", "L3fwd (norm)", "X-Mem IPC (norm)"],
+        title="Figure 9a: normalized to (4,8)+Sweeper",
+    )
+    for (a, sw), (nf, xm) in sorted(result.series["frontier_normalized"].items()):
+        t.add_row(f"({a},{12 - a})", "yes" if sw else "no", nf, xm)
+    return t.render()
+
+
+def _overlap_table(result) -> str:
+    t = Table(
+        ["DDIO ways", "Sweeper", "L3fwd Mrps (scaled)", "X-Mem IPC"],
+        title="Figure 9b: X-Mem over the whole LLC",
+    )
+    for (w, sw), p in sorted(result.series["overlapping"].items()):
+        t.add_row(w, "yes" if sw else "no", p.perf.nf_throughput_mrps,
+                  p.perf.xmem_ipc)
+    return t.render()
+
+
+def test_fig9(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig9.run(settings=settings), rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [result.render(), _frontier_table(result), _overlap_table(result)]
+    )
+    emit(results_dir, "fig9_collocation", text)
+
+    part = result.series["partitioned"]
+    for a, _b in fig9.PARTITIONS_9A:
+        base, sw = part[(a, False)].perf, part[(a, True)].perf
+        # Sweeper shifts the Pareto frontier outward on both axes.
+        assert sw.nf_throughput_mrps >= base.nf_throughput_mrps
+        assert sw.xmem_ipc >= 0.98 * base.xmem_ipc
+    over = result.series["overlapping"]
+    sw_nf = [over[(w, True)].perf.nf_throughput_mrps
+             for w in fig9.OVERLAP_WAYS_9B]
+    # With Sweeper, L3fwd is insensitive to its DDIO way allocation.
+    assert max(sw_nf) / min(sw_nf) < 1.25

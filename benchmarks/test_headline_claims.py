@@ -1,0 +1,18 @@
+"""Abstract headline claims: up to 1.3x bandwidth saved, 2.6x throughput."""
+
+from repro.experiments import headline
+
+from benchmarks.conftest import emit
+
+
+def test_headline(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: headline.run(settings=settings), rounds=1, iterations=1
+    )
+    emit(results_dir, "headline_claims", result.render())
+
+    # The reproduction should land in the paper's ballpark: a large
+    # throughput gain at the bandwidth-starved corner and a >1.3x
+    # reduction in memory traffic per request.
+    assert result.series["max_throughput_gain"] > 1.6
+    assert result.series["max_bandwidth_saving"] > 1.3

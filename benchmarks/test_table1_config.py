@@ -1,0 +1,18 @@
+"""Table I: print the simulated system parameters (paper vs scaled)."""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import emit
+
+
+def test_table1(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: table1.run(settings=settings), rounds=1, iterations=1
+    )
+    text = (
+        result.series["rendered"]
+        + "\n\nBenchmark-scale machine:\n"
+        + result.series["scaled_rendered"]
+    )
+    emit(results_dir, "table1", text)
+    assert "DDR4-3200" in text

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Sizing receive rings for bursty traffic without losing throughput.
+
+The §VI-F dilemma: a latency-sensitive KVS occasionally stalls for
+1-100 µs (GC pauses, lock contention, arrival bursts). Shallow rings
+drop packets during the stalls; deep rings leak network data and lose
+steady-state throughput. This script measures the no-drop peak across
+ring depths and shows Sweeper removing the deep-buffer penalty — size
+for the worst burst, keep peak throughput.
+
+Run:  python examples/burst_tolerant_buffers.py [scale]
+"""
+
+import sys
+
+from repro import ServiceProfile, TraceConfig, TraceSimulator
+from repro.engine.analytic import bandwidth_gbps, service_cycles
+from repro.engine.events import FiniteRingSimulator
+from repro.experiments.common import kvs_system
+from repro.mem.dram import DramModel
+from repro.report.tables import Table
+from repro.workloads.kvs import KvsParams
+from repro.workloads.spiky import SpikyKvsWorkload
+
+DEPTHS = (128, 512, 2048)
+
+
+def no_drop_peak(scale, buffers, sweeper):
+    system = kvs_system(scale, buffers, 2, 1024)
+    workload = SpikyKvsWorkload(
+        KvsParams(item_bytes=1024).scaled(scale), spike_probability=0.001
+    )
+    cfg = TraceConfig(
+        system=system, workload=workload, policy="ddio", sweeper=sweeper
+    )
+    profile = ServiceProfile.from_trace(TraceSimulator(cfg).run())
+    dram = DramModel(system.memory, system.cpu.freq_ghz)
+
+    def base_service_us(mrps):
+        latency = dram.avg_latency_cycles(bandwidth_gbps(profile, mrps))
+        return service_cycles(profile, system, latency) / system.cpu.cycles_per_us
+
+    sim = FiniteRingSimulator(
+        system, buffers, base_service_us,
+        spike_sampler=workload.extra_delay_us,
+    )
+    return sim.peak_no_drop_mrps(packets_per_core=8000)
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    table = Table(
+        ["RX buffers/core", "Baseline no-drop Mrps", "Sweeper no-drop Mrps"],
+        title="No-drop peak under 0.1% x [1,100]us service spikes "
+              "(full-scale numbers)",
+    )
+    peaks = {}
+    for depth in DEPTHS:
+        base = no_drop_peak(scale, depth, sweeper=False) / scale
+        sw = no_drop_peak(scale, depth, sweeper=True) / scale
+        peaks[depth] = (base, sw)
+        table.add_row(depth, base, sw)
+    print(table.render())
+
+    deep, shallow = peaks[DEPTHS[-1]], peaks[DEPTHS[0]]
+    print(
+        f"\nDeep buffers deliver {deep[0] / shallow[0]:.2f}x the drop-free "
+        f"throughput of shallow ones ({deep[1] / shallow[0]:.2f}x with "
+        "Sweeper; paper: 3.3x and 3.7x). With Sweeper, provisioning for "
+        "the worst burst costs nothing in the steady state."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

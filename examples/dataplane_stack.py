@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The networking-library view: a DPDK-style dataplane with Sweeper.
+
+The paper's §V-A places ``relinquish`` inside the networking library —
+after the application's last read of a packet, before the buffer is
+recycled for NIC reuse. This example runs that exact loop on the
+simulated hardware twice (baseline stack vs Sweeper stack) and shows:
+
+* the lifecycle contract enforced (read-after-relinquish and
+  recycle-without-relinquish are rejected like memory bugs);
+* the memory-traffic difference the library-level integration buys.
+
+Run:  python examples/dataplane_stack.py
+"""
+
+import sys
+
+from repro import Dataplane, DataplaneConfig, MemCategory, SystemConfig
+from repro.errors import ProtocolError
+from repro.report.tables import Table
+
+
+def run_stack(sweeper: bool, packets: int = 5000):
+    system = SystemConfig().scaled(0.1).with_nic(ddio_ways=2)
+    dp = Dataplane(
+        system,
+        DataplaneConfig(
+            burst_size=32,
+            pool_capacity=1024,
+            packet_bytes=1024,
+            sweeper_enabled=sweeper,
+        ),
+    )
+    handled = dp.run(packets)
+    return dp, handled
+
+
+def demonstrate_contract() -> None:
+    dp, _ = run_stack(sweeper=True, packets=0)
+    dp.nic_receive(2)
+    first, second = dp.rx_burst(2).mbufs
+    dp.read_packet(first)
+    first.relinquish()  # contents are now conclusively dead
+    try:
+        first.app_read()
+    except ProtocolError as exc:
+        print(f"contract enforced: {exc}")
+    try:
+        second.recycle(require_relinquish=True)  # skipped relinquish
+    except ProtocolError as exc:
+        print(f"contract enforced: {exc}")
+
+
+def main() -> int:
+    packets = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    table = Table(
+        ["Stack", "Packets", "RX Evct/pkt", "Total mem acc/pkt",
+         "clsweeps issued"],
+        title="DPDK-style dataplane: baseline vs Sweeper-integrated library",
+    )
+    for sweeper in (False, True):
+        dp, handled = run_stack(sweeper, packets)
+        traffic = dp.hier.traffic
+        table.add_row(
+            "Sweeper" if sweeper else "baseline",
+            handled,
+            traffic.get(MemCategory.RX_EVCT) / handled,
+            traffic.total() / handled,
+            dp.sweeper.stats.clsweep_instructions,
+        )
+    print(table.render())
+    print()
+    demonstrate_contract()
+    print(
+        "\nThe library owns the ordering guarantee: relinquish always "
+        "precedes buffer recycling, so the NIC never races a sweep (§V-A)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Capacity planning for a KVS appliance: how many DDIO ways, how deep
+a receive ring, and is Sweeper worth it?
+
+The scenario the paper's introduction motivates: a 24-core server runs a
+high-performance key-value store behind a multi-hundred-gigabit NIC.
+The operator must choose (a) how many LLC ways to hand to DDIO and
+(b) how many RX buffers to provision per core. This script sweeps both
+knobs, reports peak sustainable throughput and the network bandwidth it
+corresponds to, and shows how Sweeper collapses the whole decision
+space (any deep-buffer configuration becomes near-optimal).
+
+Run:  python examples/kvs_capacity_planning.py [scale]
+"""
+
+import sys
+
+from repro import ServiceProfile, TraceConfig, TraceSimulator, solve_peak_throughput
+from repro.experiments.common import kvs_system, kvs_workload
+from repro.report.tables import Table
+
+ITEM_BYTES = 1024
+BUFFERS = (512, 2048)
+WAYS = (2, 6, 12)
+
+
+def evaluate(scale, buffers, ways, sweeper):
+    system = kvs_system(scale, buffers, ways, ITEM_BYTES)
+    cfg = TraceConfig(
+        system=system,
+        workload=kvs_workload(scale, ITEM_BYTES),
+        policy="ddio",
+        sweeper=sweeper,
+    )
+    trace = TraceSimulator(cfg).run()
+    peak = solve_peak_throughput(ServiceProfile.from_trace(trace), system)
+    return peak
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    table = Table(
+        ["RX bufs/core", "DDIO ways", "Baseline Mrps", "Baseline Gbps",
+         "Sweeper Mrps", "Sweeper Gbps", "Gain"],
+        title=f"KVS appliance planning grid (scale {scale}, full-scale numbers)",
+    )
+    best = {}
+    for buffers in BUFFERS:
+        for ways in WAYS:
+            base = evaluate(scale, buffers, ways, sweeper=False)
+            sw = evaluate(scale, buffers, ways, sweeper=True)
+            table.add_row(
+                buffers,
+                ways,
+                base.throughput_mrps / scale,
+                base.network_gbps(ITEM_BYTES) / scale,
+                sw.throughput_mrps / scale,
+                sw.network_gbps(ITEM_BYTES) / scale,
+                f"{sw.throughput_mrps / base.throughput_mrps:.2f}x",
+            )
+            best[(buffers, ways, False)] = base.throughput_mrps
+            best[(buffers, ways, True)] = sw.throughput_mrps
+    print(table.render())
+
+    base_spread = max(
+        v for (b, w, s), v in best.items() if not s
+    ) / min(v for (b, w, s), v in best.items() if not s)
+    sw_spread = max(v for (b, w, s), v in best.items() if s) / min(
+        v for (b, w, s), v in best.items() if s
+    )
+    print(
+        f"\nWithout Sweeper, the best/worst configuration differ by "
+        f"{base_spread:.2f}x -> provisioning is a real decision.\n"
+        f"With Sweeper they differ by only {sw_spread:.2f}x -> deploy deep "
+        "buffers for burst resilience and stop tuning (§VI-A, §VI-F)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+achieves the same result with bare setuptools. All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Cache hierarchy: set-associative caches, victim LLC, sweep support."""
+
+from repro.cache.set_assoc import EvictedLine, SetAssociativeCache
+from repro.cache.hierarchy import AccessLevel, CacheHierarchy
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "AccessLevel",
+    "CacheHierarchy",
+    "CacheStats",
+    "EvictedLine",
+    "SetAssociativeCache",
+]

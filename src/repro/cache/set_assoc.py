@@ -1,0 +1,261 @@
+"""Set-associative cache with LRU replacement and way partitioning.
+
+The cache identifies lines by *block address* (byte address >> 6). The
+set index is ``block % num_sets`` and the full block address serves as
+the tag, so no aliasing is possible.
+
+Way masks implement both DDIO way restriction (NIC write-allocations are
+confined to a subset of LLC ways) and the LLC partitioning of the
+collocation study (§VI-E): ``insert`` chooses its victim only among the
+allowed ways, while lookups always probe every way — matching real
+hardware, where way partitioning restricts fills, not hits.
+
+Lines carry a :class:`~repro.mem.layout.RegionKind` so that dirty
+evictions can be attributed to RX/TX/Other traffic without an address
+lookup on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.cache.stats import CacheStats
+from repro.mem.layout import RegionKind
+from repro.params import CacheParams
+
+
+class EvictedLine(NamedTuple):
+    """A line removed from a cache to make room for another.
+
+    ``kind`` is the raw :class:`RegionKind` integer value; hot paths keep
+    it as an int to avoid enum construction overhead (IntEnum members
+    compare and hash equal to their values, so lookups like
+    ``EVICT_CATEGORY[kind]`` work either way).
+    """
+
+    block: int
+    dirty: bool
+    kind: int
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache keyed by block address."""
+
+    def __init__(
+        self, params: CacheParams, name: str = "cache", seed: int = 0x5EED
+    ) -> None:
+        self.params = params
+        self.name = name
+        self.num_sets = params.num_sets
+        self.ways = params.ways
+        self.stats = CacheStats()
+        self._random_replacement = params.replacement == "random"
+        # Deterministic 32-bit LCG for random victim selection; a numpy
+        # Generator is far too slow for a per-insert draw.
+        self._lcg = (seed * 2654435761) & 0xFFFFFFFF or 1
+        n = self.num_sets * self.ways
+        # Per-set tag->slot map plus flat per-slot metadata arrays. Slot
+        # index is set_index * ways + way.
+        self._maps: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._tags: List[int] = [-1] * n
+        self._dirty = bytearray(n)
+        self._kind = bytearray(n)
+        self._stamp: List[int] = [0] * n
+        self._clock = 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def set_index(self, block: int) -> int:
+        return block % self.num_sets
+
+    def contains(self, block: int) -> bool:
+        return block in self._maps[block % self.num_sets]
+
+    def is_dirty(self, block: int) -> bool:
+        slot = self._maps[block % self.num_sets].get(block)
+        if slot is None:
+            raise ConfigError(f"{self.name}: block {block} not present")
+        return bool(self._dirty[slot])
+
+    def kind_of(self, block: int) -> RegionKind:
+        return RegionKind(self.kind_raw_of(block))
+
+    def kind_raw_of(self, block: int) -> int:
+        """Raw integer kind of a resident block (hot-path variant)."""
+        slot = self._maps[block % self.num_sets].get(block)
+        if slot is None:
+            raise ConfigError(f"{self.name}: block {block} not present")
+        return self._kind[slot]
+
+    def way_of(self, block: int) -> Optional[int]:
+        """Way the block resides in, or ``None`` if absent."""
+        slot = self._maps[block % self.num_sets].get(block)
+        if slot is None:
+            return None
+        return slot % self.ways
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(m) for m in self._maps)
+
+    def occupancy_by_kind(self) -> Dict[RegionKind, int]:
+        out = {k: 0 for k in RegionKind}
+        for m in self._maps:
+            for slot in m.values():
+                out[RegionKind(self._kind[slot])] += 1
+        return out
+
+    def resident_blocks(self) -> List[int]:
+        blocks: List[int] = []
+        for m in self._maps:
+            blocks.extend(m.keys())
+        return blocks
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+
+    def access(self, block: int, write: bool = False) -> bool:
+        """Probe for ``block``; on hit refresh LRU (and dirty if write).
+
+        Returns True on hit. Records hit/miss statistics; a miss performs
+        no allocation — the caller decides where the fill goes.
+        """
+        slot = self._maps[block % self.num_sets].get(block)
+        if slot is None:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
+        self._stamp[slot] = self._clock
+        self._clock += 1
+        if write:
+            self._dirty[slot] = 1
+        return True
+
+    def insert(
+        self,
+        block: int,
+        dirty: bool,
+        kind: int,
+        way_mask: Optional[Sequence[int]] = None,
+        prefer_invalid: bool = True,
+    ) -> Optional[EvictedLine]:
+        """Allocate ``block``, evicting a victim among the allowed ways.
+
+        If the block is already present it is updated in place (dirty is
+        OR-ed in) regardless of the mask, as a hardware fill would hit the
+        existing line. Returns the evicted line, if any. Victim choice is
+        LRU or uniform-random per the configured replacement policy.
+
+        ``prefer_invalid`` (default) takes the first invalid way before
+        considering occupied ones — how a fill engine targets its own
+        invalidated slots (e.g. the NIC reusing swept buffers). With
+        ``prefer_invalid=False`` under random replacement, the victim is
+        drawn uniformly over *all* allowed ways, so a fill only lands on
+        an invalid way proportionally — this keeps collocated tenants'
+        victim fills from vacuuming up every slot a sweep frees.
+        (LRU treats invalid ways as oldest either way.)
+        """
+        mapping = self._maps[block % self.num_sets]
+        slot = mapping.get(block)
+        if slot is not None:
+            self._stamp[slot] = self._clock
+            self._clock += 1
+            if dirty:
+                self._dirty[slot] = 1
+            self._kind[slot] = kind
+            return None
+
+        base = (block % self.num_sets) * self.ways
+        tags = self._tags
+        stamps = self._stamp
+        ways = range(self.ways) if way_mask is None else way_mask
+        victim_slot = -1
+        if self._random_replacement:
+            candidates = 0
+            lcg = self._lcg
+            for way in ways:
+                s = base + way
+                if prefer_invalid and tags[s] == -1:
+                    victim_slot = s
+                    break
+                # Reservoir-sample one allowed way with the LCG stream.
+                candidates += 1
+                lcg = (lcg * 1103515245 + 12345) & 0xFFFFFFFF
+                if victim_slot < 0 or lcg % candidates == 0:
+                    victim_slot = s
+            self._lcg = lcg
+        else:
+            victim_stamp = None
+            for way in ways:
+                s = base + way
+                if tags[s] == -1:
+                    victim_slot = s
+                    break
+                if victim_stamp is None or stamps[s] < victim_stamp:
+                    victim_slot = s
+                    victim_stamp = stamps[s]
+        if victim_slot < 0:
+            raise ConfigError(f"{self.name}: empty way mask for insert")
+
+        evicted: Optional[EvictedLine] = None
+        old_tag = tags[victim_slot]
+        if old_tag != -1:
+            old_dirty = self._dirty[victim_slot]
+            evicted = EvictedLine(old_tag, bool(old_dirty), self._kind[victim_slot])
+            del mapping[old_tag]
+            if old_dirty:
+                self.stats.evictions_dirty += 1
+            else:
+                self.stats.evictions_clean += 1
+
+        mapping[block] = victim_slot
+        tags[victim_slot] = block
+        self._dirty[victim_slot] = 1 if dirty else 0
+        self._kind[victim_slot] = kind
+        stamps[victim_slot] = self._clock
+        self._clock += 1
+        self.stats.insertions += 1
+        return evicted
+
+    def remove(self, block: int) -> Optional[Tuple[bool, int]]:
+        """Remove the block, returning its (dirty, raw kind), or None.
+
+        Used for coherence invalidations and ownership transfers. No
+        writeback is implied — the caller owns the dirty data that comes
+        back.
+        """
+        mapping = self._maps[block % self.num_sets]
+        slot = mapping.pop(block, None)
+        if slot is None:
+            return None
+        dirty = bool(self._dirty[slot])
+        kind = self._kind[slot]
+        self._tags[slot] = -1
+        self._dirty[slot] = 0
+        self.stats.invalidations += 1
+        return dirty, kind
+
+    def sweep(self, block: int) -> bool:
+        """Invalidate without writeback (the clsweep operation).
+
+        Returns True if a line was dropped. Dirty data is discarded —
+        this is the whole point of Sweeper.
+        """
+        removed = self.remove(block)
+        if removed is None:
+            return False
+        self.stats.sweeps += 1
+        return True
+
+    def clear(self) -> None:
+        for m in self._maps:
+            m.clear()
+        n = self.num_sets * self.ways
+        self._tags = [-1] * n
+        self._dirty = bytearray(n)
+        self._kind = bytearray(n)
+        self._stamp = [0] * n

@@ -1,0 +1,47 @@
+"""Per-cache hit/miss/eviction counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Event counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions_clean: int = 0
+    evictions_dirty: int = 0
+    invalidations: int = 0
+    sweeps: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def evictions(self) -> int:
+        return self.evictions_clean + self.evictions_dirty
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions_clean = 0
+        self.evictions_dirty = 0
+        self.invalidations = 0
+        self.sweeps = 0

@@ -1,0 +1,18 @@
+"""Sweeper: the paper's contribution (relinquish API, clsweep, guards)."""
+
+from repro.core.api import Sweeper, SweepStats
+from repro.core.pageguard import (
+    FunctionalCache,
+    FunctionalMemory,
+    OsPageManager,
+    ZeroingMethod,
+)
+
+__all__ = [
+    "FunctionalCache",
+    "FunctionalMemory",
+    "OsPageManager",
+    "Sweeper",
+    "SweepStats",
+    "ZeroingMethod",
+]

@@ -1,0 +1,113 @@
+"""Sweeper's software interface (§V-A) and ISA extension (§V-B).
+
+The application-facing call is ``relinquish(buffer_address, size)``: the
+software declares that a network buffer instance has been conclusively
+used and its contents may be lost. The call compiles to one ``clsweep``
+per cache block; each clsweep injects a sweep message that invalidates
+every copy of the block in the hierarchy *without writing dirty data
+back* — the writeback the paper shows to be pure waste.
+
+Correctness contract (mirrors the paper): reading a buffer after
+relinquishing it is undefined behaviour, like touching freed memory; a
+networking library must relinquish before recycling the buffer for NIC
+reuse. The unprivileged instruction is gated behind a one-time
+permission syscall (see :mod:`repro.core.pageguard` for the privacy
+rationale), modeled by :meth:`Sweeper.grant_permission`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.errors import ConfigError, SweepPermissionError
+from repro.params import CACHE_BLOCK_BYTES
+
+
+@dataclass
+class SweepStats:
+    """Counters for Sweeper activity."""
+
+    relinquish_calls: int = 0
+    clsweep_instructions: int = 0
+    lines_dropped: int = 0
+
+    def reset(self) -> None:
+        self.relinquish_calls = 0
+        self.clsweep_instructions = 0
+        self.lines_dropped = 0
+
+
+class Sweeper:
+    """The relinquish/clsweep mechanism bound to a cache hierarchy.
+
+    ``enabled=False`` builds a no-op Sweeper so experiment code can run
+    identical request loops for baseline and Sweeper configurations.
+    """
+
+    def __init__(
+        self,
+        hier: CacheHierarchy,
+        enabled: bool = True,
+        require_permission: bool = False,
+    ) -> None:
+        self.hier = hier
+        self.enabled = enabled
+        self.require_permission = require_permission
+        self._permission_granted = not require_permission
+        self.stats = SweepStats()
+
+    def grant_permission(self) -> None:
+        """The process's one-time clsweep-permission syscall (§V-B)."""
+        self._permission_granted = True
+
+    @property
+    def permission_granted(self) -> bool:
+        return self._permission_granted
+
+    # ------------------------------------------------------------------
+    # the API
+    # ------------------------------------------------------------------
+
+    def clsweep(self, core: int, block: int) -> int:
+        """Execute one clsweep instruction; returns cache copies dropped."""
+        if not self.enabled:
+            return 0
+        if not self._permission_granted:
+            raise SweepPermissionError(
+                "clsweep used without the clsweep-permission syscall"
+            )
+        self.stats.clsweep_instructions += 1
+        dropped = self.hier.sweep_block(core, block)
+        self.stats.lines_dropped += dropped
+        return dropped
+
+    def relinquish(self, core: int, address: int, size: int) -> int:
+        """Relinquish ``size`` bytes at ``address`` on behalf of ``core``.
+
+        Returns the number of clsweep instructions issued (one per cache
+        block overlapping the range). A no-op when Sweeper is disabled.
+        """
+        if size <= 0:
+            raise ConfigError("relinquish size must be positive")
+        if address < 0:
+            raise ConfigError("relinquish address must be non-negative")
+        if not self.enabled:
+            return 0
+        self.stats.relinquish_calls += 1
+        first = address // CACHE_BLOCK_BYTES
+        last = (address + size - 1) // CACHE_BLOCK_BYTES
+        for block in range(first, last + 1):
+            self.clsweep(core, block)
+        return last - first + 1
+
+    def relinquish_blocks(self, core: int, blocks: "range") -> int:
+        """Relinquish a pre-computed block range (hot-path variant)."""
+        if not self.enabled:
+            return 0
+        self.stats.relinquish_calls += 1
+        count = 0
+        for block in blocks:
+            self.clsweep(core, block)
+            count += 1
+        return count

@@ -1,0 +1,198 @@
+"""OS page-recycling privacy model (§V-B "Correctness and security").
+
+The paper's shepherd-prompted concern: the OS zeroes a page before
+handing it to a new process, but if the zeroed blocks are only *cached*,
+the new owner can clsweep them — dropping the cached zeros without
+writeback — and then read the previous owner's stale values from DRAM.
+
+This module is a small *functional* (value-carrying) model, separate
+from the performance simulator, used to demonstrate the breach and both
+mitigations the paper proposes:
+
+* zero pages via a conventional non-DDIO DMA that writes DRAM directly;
+* or zero through the cache but CLWB every block afterwards, enforced
+  (as the paper suggests) only for processes that requested clsweep
+  permission via the dedicated syscall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Set
+
+from repro.errors import ConfigError, SweepPermissionError
+
+
+class ZeroingMethod(Enum):
+    """How the OS writes zeros when reclaiming a page."""
+
+    DMA_TO_MEMORY = "dma"
+    CACHED = "cached"
+    CACHED_CLWB = "cached+clwb"
+
+
+class FunctionalMemory:
+    """Block-granularity DRAM holding actual values."""
+
+    def __init__(self) -> None:
+        self._data: Dict[int, int] = {}
+
+    def read(self, block: int) -> int:
+        return self._data.get(block, 0)
+
+    def write(self, block: int, value: int) -> None:
+        self._data[block] = value
+
+
+@dataclass
+class _CachedLine:
+    value: int
+    dirty: bool
+
+
+class FunctionalCache:
+    """Infinite write-back cache over :class:`FunctionalMemory`.
+
+    Capacity effects are irrelevant to the privacy argument, so no
+    evictions occur unless explicitly requested.
+    """
+
+    def __init__(self, memory: FunctionalMemory) -> None:
+        self.memory = memory
+        self._lines: Dict[int, _CachedLine] = {}
+
+    def read(self, block: int) -> int:
+        line = self._lines.get(block)
+        if line is not None:
+            return line.value
+        value = self.memory.read(block)
+        self._lines[block] = _CachedLine(value=value, dirty=False)
+        return value
+
+    def write(self, block: int, value: int) -> None:
+        self._lines[block] = _CachedLine(value=value, dirty=True)
+
+    def clwb(self, block: int) -> None:
+        """Write back if dirty; the line stays cached clean."""
+        line = self._lines.get(block)
+        if line is not None and line.dirty:
+            self.memory.write(block, line.value)
+            line.dirty = False
+
+    def clflush(self, block: int) -> None:
+        """Write back if dirty, then invalidate."""
+        self.clwb(block)
+        self._lines.pop(block, None)
+
+    def clsweep(self, block: int) -> None:
+        """Invalidate WITHOUT writeback — dirty data is lost."""
+        self._lines.pop(block, None)
+
+    def is_cached(self, block: int) -> bool:
+        return block in self._lines
+
+    def is_dirty(self, block: int) -> bool:
+        line = self._lines.get(block)
+        return line is not None and line.dirty
+
+
+@dataclass
+class _Page:
+    start_block: int
+    num_blocks: int
+    owner: Optional[int] = None
+
+
+@dataclass
+class OsPageManager:
+    """Page ownership, zero-on-reclaim, and the clsweep permission bit."""
+
+    cache: FunctionalCache
+    blocks_per_page: int = 64
+    pages: Dict[int, _Page] = field(default_factory=dict)
+    _clsweep_processes: Set[int] = field(default_factory=set)
+
+    def create_page(self, page_id: int, owner: int) -> None:
+        if page_id in self.pages:
+            raise ConfigError(f"page {page_id} already exists")
+        self.pages[page_id] = _Page(
+            start_block=page_id * self.blocks_per_page,
+            num_blocks=self.blocks_per_page,
+            owner=owner,
+        )
+
+    def request_clsweep_permission(self, pid: int) -> None:
+        """The new syscall: mark the process as a clsweep user."""
+        self._clsweep_processes.add(pid)
+
+    def has_clsweep_permission(self, pid: int) -> bool:
+        return pid in self._clsweep_processes
+
+    def _blocks(self, page_id: int) -> range:
+        page = self.pages[page_id]
+        return range(page.start_block, page.start_block + page.num_blocks)
+
+    def _check_owner(self, pid: int, page_id: int) -> None:
+        page = self.pages.get(page_id)
+        if page is None:
+            raise ConfigError(f"no page {page_id}")
+        if page.owner != pid:
+            raise ConfigError(f"process {pid} does not own page {page_id}")
+
+    # ------------------------------------------------------------------
+    # process-side accesses
+    # ------------------------------------------------------------------
+
+    def process_write(self, pid: int, page_id: int, offset: int, value: int) -> None:
+        self._check_owner(pid, page_id)
+        self.cache.write(self.pages[page_id].start_block + offset, value)
+
+    def process_read(self, pid: int, page_id: int, offset: int) -> int:
+        self._check_owner(pid, page_id)
+        return self.cache.read(self.pages[page_id].start_block + offset)
+
+    def process_clsweep(self, pid: int, page_id: int, offset: int) -> None:
+        self._check_owner(pid, page_id)
+        if pid not in self._clsweep_processes:
+            raise SweepPermissionError(
+                f"process {pid} never requested clsweep permission"
+            )
+        self.cache.clsweep(self.pages[page_id].start_block + offset)
+
+    # ------------------------------------------------------------------
+    # OS-side reclamation
+    # ------------------------------------------------------------------
+
+    def reclaim_page(
+        self,
+        page_id: int,
+        new_owner: int,
+        method: ZeroingMethod = ZeroingMethod.CACHED_CLWB,
+    ) -> None:
+        """Zero the page and transfer ownership.
+
+        ``CACHED`` zeroing without CLWB is the vulnerable configuration;
+        it is allowed here (so tests can demonstrate the breach) but a
+        hardened kernel would select CLWB whenever the *new* owner has
+        clsweep permission.
+        """
+        if page_id not in self.pages:
+            raise ConfigError(f"no page {page_id}")
+        for block in self._blocks(page_id):
+            if method is ZeroingMethod.DMA_TO_MEMORY:
+                # Conventional DMA writes DRAM directly and invalidates
+                # cached copies; stale cache data cannot survive.
+                self.cache.clsweep(block)
+                self.cache.memory.write(block, 0)
+            else:
+                self.cache.write(block, 0)
+                if method is ZeroingMethod.CACHED_CLWB:
+                    self.cache.clwb(block)
+        self.pages[page_id].owner = new_owner
+
+    def safe_method_for(self, new_owner: int) -> ZeroingMethod:
+        """Kernel policy: CLWB only when the new owner can clsweep."""
+        if self.has_clsweep_permission(new_owner):
+            return ZeroingMethod.CACHED_CLWB
+        return ZeroingMethod.CACHED

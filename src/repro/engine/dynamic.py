@@ -1,0 +1,50 @@
+"""Trace simulation with IAT-style dynamic DDIO way reallocation.
+
+Wires :class:`~repro.nic.dynamic.DynamicDdioController` into the request
+loop so benchmarks can compare static DDIO, dynamic reallocation, and
+Sweeper under identical workloads (the §VII head-to-head).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.tracer import TraceConfig, TraceSimulator
+from repro.errors import ConfigError
+from repro.nic.dynamic import (
+    DynamicDdioController,
+    DynamicTraceHook,
+    DynamicWaysConfig,
+)
+
+
+class DynamicWaysSimulator(TraceSimulator):
+    """TraceSimulator whose DDIO way count adapts each epoch."""
+
+    def __init__(
+        self,
+        cfg: TraceConfig,
+        dynamic: Optional[DynamicWaysConfig] = None,
+    ) -> None:
+        if cfg.policy != "ddio":
+            raise ConfigError("dynamic way reallocation requires DDIO")
+        super().__init__(cfg)
+        self.controller = DynamicDdioController(
+            self.hier,
+            dynamic if dynamic is not None else DynamicWaysConfig(),
+            packet_blocks=cfg.system.nic.blocks_per_packet,
+        )
+        self._hook = DynamicTraceHook(self.controller)
+
+    def service_one(self, core: int) -> None:
+        super().service_one(core)
+        self._hook.tick()
+
+    def _reset_measurements(self) -> None:
+        super()._reset_measurements()
+        # The traffic counter was cleared; resync the epoch snapshot.
+        self._hook = DynamicTraceHook(self.controller)
+
+    @property
+    def final_ways(self) -> int:
+        return self.controller.ways

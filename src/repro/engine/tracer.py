@@ -1,0 +1,340 @@
+"""Steady-state trace-driven simulation of the request loop.
+
+This engine produces the paper's central measurements: the per-request
+memory-access breakdown (Figures 1c/2c/5c/7b) and the per-level CPU
+access counts that feed the analytic throughput model.
+
+Per serviced request the simulator executes the full data path:
+
+1. the traffic generator tops the core's RX ring back up to its target
+   backlog ``D`` (the NIC write-allocates each packet block via the
+   injection policy);
+2. the CPU reads the packet from the RX buffer;
+3. the workload issues its application reads/writes;
+4. the CPU writes the response into a TX buffer and posts a Work Queue
+   entry; the NIC reads the buffer (and sweeps it, if NIC-driven TX
+   sweeping is on);
+5. with Sweeper enabled, the CPU relinquishes the consumed RX buffer.
+
+Cores are serviced round-robin, which interleaves their cache footprints
+the way concurrent execution would. Statistics are reset after a warmup
+long enough to wrap every RX ring twice, so all measurements reflect
+steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cache.hierarchy import AccessLevel, CacheHierarchy
+from repro.core.api import Sweeper
+from repro.errors import ConfigError
+from repro.mem.layout import AddressSpace, RegionKind
+from repro.nic.arrivals import BacklogController
+from repro.nic.ddio import DdioPolicy, InjectionPolicy, make_policy
+from repro.nic.qp import NicEngine, QueuePair
+from repro.nic.rings import RxRing, TxRing, build_rings
+from repro.params import SystemConfig
+from repro.traffic import MemCategory, TrafficCounter
+from repro.workloads.base import Workload
+
+
+@dataclass
+class TraceConfig:
+    """One simulation configuration (a single bar in a paper figure)."""
+
+    system: SystemConfig
+    workload: Workload
+    policy: str = "ddio"
+    sweeper: bool = False
+    nic_tx_sweep: bool = False
+    #: target RX backlog D; 1 = consume each packet promptly (§IV-B's D)
+    queued_depth: int = 1
+    warmup_requests: Optional[int] = None
+    measure_requests: Optional[int] = None
+    seed: int = 42
+
+    def make_policy(self) -> InjectionPolicy:
+        return make_policy(self.policy, self.system.nic.ddio_ways)
+
+    def default_warmup(self) -> int:
+        cores = self.system.cpu.num_cores
+        ring_wraps = 2 * cores * self.system.nic.rx_buffers_per_core
+        llc_fill = 2 * self.system.llc.num_blocks // max(
+            self.system.nic.blocks_per_packet, 1
+        )
+        return max(ring_wraps, llc_fill)
+
+    def default_measure(self) -> int:
+        cores = self.system.cpu.num_cores
+        return max(2 * cores * self.system.nic.rx_buffers_per_core, 4000)
+
+
+@dataclass
+class TraceResult:
+    """Steady-state measurements, normalized per request."""
+
+    requests: int
+    traffic: TrafficCounter
+    level_counts: Dict[AccessLevel, int]
+    cpu_work_cycles: float
+    llc_occupancy_by_kind: Dict[RegionKind, int]
+    sweep_instructions: int
+    nic_sweeps: int
+    drops: int = 0
+
+    def per_request(self) -> Dict[MemCategory, float]:
+        """Memory accesses per request by category (the figure's bars)."""
+        return self.traffic.scaled(self.requests)
+
+    def mem_accesses_per_request(self) -> float:
+        return self.traffic.total() / self.requests
+
+    def levels_per_request(self) -> Dict[AccessLevel, float]:
+        return {lv: n / self.requests for lv, n in self.level_counts.items()}
+
+    def category_per_request(self, category: MemCategory) -> float:
+        return self.traffic.get(category) / self.requests
+
+
+class TraceSimulator:
+    """Drives the per-request loop over the cache hierarchy."""
+
+    def __init__(self, cfg: TraceConfig) -> None:
+        if cfg.queued_depth < 1:
+            raise ConfigError("queued_depth must be >= 1")
+        self.cfg = cfg
+        system = cfg.system
+        self.space = AddressSpace()
+        self.hier = CacheHierarchy(system)
+        self.policy = cfg.make_policy()
+        if isinstance(self.policy, DdioPolicy):
+            self.policy.bind(self.hier)
+        self.rx_rings, self.tx_rings = build_rings(
+            self.space,
+            system.cpu.num_cores,
+            system.nic.rx_buffers_per_core,
+            system.nic.tx_buffers_per_core,
+            system.nic.blocks_per_packet,
+        )
+        rng = np.random.default_rng(cfg.seed)
+        cfg.workload.build(self.space, system.cpu.num_cores, rng=rng)
+        self.sweeper = Sweeper(self.hier, enabled=cfg.sweeper)
+        self.nic = NicEngine(self.hier, self.policy)
+        self.qps = [
+            QueuePair(qp_id=c, core=c) for c in range(system.cpu.num_cores)
+        ]
+        self.backlog = BacklogController(cfg.queued_depth)
+        self._level_counts: Dict[AccessLevel, int] = {lv: 0 for lv in AccessLevel}
+        self._cpu_work_cycles = 0.0
+        self._packet_blocks = system.nic.blocks_per_packet
+
+    # ------------------------------------------------------------------
+    # CPU access helpers (ideal-DDIO bypass lives here)
+    # ------------------------------------------------------------------
+
+    def _cpu_access(
+        self, core: int, block: int, kind: RegionKind, write: bool
+    ) -> None:
+        level = self.policy.cpu_buffer_level(kind)
+        if level is None:
+            level = self.hier.cpu_access(core, block, kind, write)
+        self._level_counts[level] += 1
+
+    # ------------------------------------------------------------------
+    # request loop
+    # ------------------------------------------------------------------
+
+    def _refill_ring(self, core: int) -> None:
+        ring = self.rx_rings[core]
+        need = self.backlog.refill(ring.backlog)
+        for _ in range(need):
+            slot = ring.post()
+            if slot is None:
+                return
+            for block in ring.slot_blocks(slot):
+                self.policy.rx_write(self.hier, core, block)
+
+    def service_one(self, core: int) -> None:
+        """Service one request on ``core`` end to end."""
+        cfg = self.cfg
+        ring = self.rx_rings[core]
+        self._refill_ring(core)
+        slot = ring.consume()
+        rx_blocks = ring.slot_blocks(slot)
+
+        # CPU consumes the packet.
+        if cfg.workload.reads_full_packet():
+            for block in rx_blocks:
+                self._cpu_access(core, block, RegionKind.RX_BUFFER, write=False)
+        else:
+            self._cpu_access(
+                core, rx_blocks.start, RegionKind.RX_BUFFER, write=False
+            )
+
+        # Application work.
+        ops = cfg.workload.request(core)
+        for block in ops.app_reads:
+            self._cpu_access(core, block, RegionKind.APP, write=False)
+        for block in ops.app_writes:
+            self._cpu_access(core, block, RegionKind.APP, write=True)
+        self._cpu_work_cycles += cfg.workload.request_cycles(
+            ops, self._packet_blocks
+        )
+
+        # Transmit path.
+        qp = self.qps[core]
+        if ops.response_blocks > 0:
+            tx_ring = self.tx_rings[core]
+            tx_slot = tx_ring.acquire()
+            all_blocks = tx_ring.slot_blocks(tx_slot)
+            tx_blocks = range(
+                all_blocks.start, all_blocks.start + ops.response_blocks
+            )
+            for block in tx_blocks:
+                self._cpu_access(core, block, RegionKind.TX_BUFFER, write=True)
+            qp.post_send(
+                tx_blocks, sweep_buffer=cfg.sweeper and cfg.nic_tx_sweep
+            )
+            self.nic.process_one(qp)
+        else:
+            # Zero-copy receive-to-transmit (§V-D): the RX buffer itself
+            # is handed to the NIC; only the NIC may sweep it.
+            qp.post_send(rx_blocks, sweep_buffer=cfg.sweeper)
+            self.nic.process_one(qp)
+
+        # Relinquish the consumed RX buffer (CPU-driven Sweeper), except
+        # in zero-copy mode where the NIC was the last user.
+        if cfg.sweeper and ops.response_blocks > 0:
+            self.sweeper.relinquish_blocks(core, rx_blocks)
+
+    def run_requests(self, count: int) -> None:
+        cores = self.cfg.system.cpu.num_cores
+        for i in range(count):
+            self.service_one(i % cores)
+
+    def _reset_measurements(self) -> None:
+        self.hier.traffic.reset()
+        for cache in (*self.hier.l1s, *self.hier.l2s, self.hier.llc):
+            cache.stats.reset()
+        self._level_counts = {lv: 0 for lv in AccessLevel}
+        self._cpu_work_cycles = 0.0
+        self.sweeper.stats.reset()
+        self.nic.nic_sweeps = 0
+
+    def run(self) -> TraceResult:
+        """Warm up, measure, and return per-request statistics."""
+        cfg = self.cfg
+        warmup = (
+            cfg.warmup_requests
+            if cfg.warmup_requests is not None
+            else cfg.default_warmup()
+        )
+        measure = (
+            cfg.measure_requests
+            if cfg.measure_requests is not None
+            else cfg.default_measure()
+        )
+        if measure <= 0:
+            raise ConfigError("measure_requests must be positive")
+        self.run_requests(warmup)
+        self._reset_measurements()
+        self.run_requests(measure)
+        return TraceResult(
+            requests=measure,
+            traffic=self.hier.traffic,
+            level_counts=dict(self._level_counts),
+            cpu_work_cycles=self._cpu_work_cycles / measure,
+            llc_occupancy_by_kind=self.hier.llc.occupancy_by_kind(),
+            sweep_instructions=self.sweeper.stats.clsweep_instructions,
+            nic_sweeps=self.nic.nic_sweeps,
+            drops=sum(r.drops for r in self.rx_rings),
+        )
+
+
+@dataclass
+class CollocationResult:
+    """Measurements for the network tenant + X-Mem tenant pair (§VI-E)."""
+
+    nf_result: TraceResult
+    xmem_accesses: int
+    xmem_level_counts: Dict[AccessLevel, int] = field(default_factory=dict)
+
+    def xmem_levels_per_access(self) -> Dict[AccessLevel, float]:
+        return {
+            lv: n / self.xmem_accesses for lv, n in self.xmem_level_counts.items()
+        }
+
+
+class CollocationSimulator(TraceSimulator):
+    """L3fwd on half the cores, X-Mem on the other half (§VI-E).
+
+    ``ddio_ways_mask`` and ``xmem_ways_mask`` implement the two
+    partitioning scenarios of Figure 9: disjoint partitions (A, B) or
+    overlapping ones (X-Mem over the whole LLC).
+    """
+
+    def __init__(
+        self,
+        cfg: TraceConfig,
+        xmem_workload,
+        xmem_cores: List[int],
+        xmem_ways_mask: Optional[List[int]] = None,
+        xmem_accesses_per_request: int = 24,
+    ) -> None:
+        super().__init__(cfg)
+        self.xmem = xmem_workload
+        self.xmem_cores = list(xmem_cores)
+        self.nf_cores = [
+            c
+            for c in range(cfg.system.cpu.num_cores)
+            if c not in set(xmem_cores)
+        ]
+        if not self.nf_cores:
+            raise ConfigError("collocation needs at least one NF core")
+        self.xmem.build(self.space, self.xmem_cores, rng=np.random.default_rng(29))
+        if xmem_ways_mask is not None:
+            for core in self.xmem_cores:
+                self.hier.set_core_fill_mask(core, xmem_ways_mask)
+        self.xmem_accesses_per_request = xmem_accesses_per_request
+        self._xmem_levels: Dict[AccessLevel, int] = {lv: 0 for lv in AccessLevel}
+        self._xmem_total = 0
+
+    def _xmem_tick(self, core: int) -> None:
+        blocks, writes = self.xmem.accesses(core, self.xmem_accesses_per_request)
+        for block, write in zip(blocks.tolist(), writes.tolist()):
+            level = self.hier.cpu_access(
+                core, block, RegionKind.APP, write=write
+            )
+            self._xmem_levels[level] += 1
+            self._xmem_total += 1
+
+    def run_requests(self, count: int) -> None:
+        """Interleave one X-Mem burst with one NF request per tick.
+
+        X-Mem runs *before* the NF request so that a relinquish at the
+        end of one request is immediately followed by the next request's
+        NIC refill — matching continuous packet arrival, where the NIC
+        (not a collocated tenant) consumes the slots a sweep invalidates.
+        """
+        n_nf = len(self.nf_cores)
+        n_xm = len(self.xmem_cores)
+        for i in range(count):
+            self._xmem_tick(self.xmem_cores[i % n_xm])
+            self.service_one(self.nf_cores[i % n_nf])
+
+    def _reset_measurements(self) -> None:
+        super()._reset_measurements()
+        self._xmem_levels = {lv: 0 for lv in AccessLevel}
+        self._xmem_total = 0
+
+    def run_collocated(self) -> CollocationResult:
+        nf_result = self.run()
+        return CollocationResult(
+            nf_result=nf_result,
+            xmem_accesses=self._xmem_total,
+            xmem_level_counts=dict(self._xmem_levels),
+        )

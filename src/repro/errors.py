@@ -1,0 +1,25 @@
+"""Exception types for the Sweeper reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """A system or experiment configuration is invalid or inconsistent."""
+
+
+class AddressError(ReproError):
+    """An address falls outside every declared region of the layout."""
+
+
+class ProtocolError(ReproError):
+    """A NIC/QP protocol invariant was violated (e.g. ring overflow misuse)."""
+
+
+class SweepPermissionError(ReproError):
+    """A process used clsweep without the clsweep-permission syscall."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state."""

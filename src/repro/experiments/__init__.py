@@ -1,0 +1,49 @@
+"""Experiment harnesses: one module per figure of the paper's evaluation.
+
+Every module exposes ``run(scale=...) -> FigureResult`` returning the
+rows/series the paper figure reports, plus a rendered text form. The
+registry below maps experiment ids to runners for the CLI::
+
+    python -m repro.experiments fig5 --scale 0.125
+"""
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    FigureResult,
+    PointResult,
+    run_point,
+)
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    headline,
+    table1,
+)
+
+#: experiment id -> callable(scale: float) -> FigureResult
+REGISTRY = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "headline": headline.run,
+}
+
+__all__ = [
+    "ExperimentSettings",
+    "FigureResult",
+    "PointResult",
+    "REGISTRY",
+    "run_point",
+]

@@ -1,0 +1,37 @@
+"""CLI entry point: ``python -m repro.experiments <id> [--scale S]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import REGISTRY
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one of the paper's tables/figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(REGISTRY) + ["all"],
+        help="experiment id (fig1..fig10, table1, headline) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="machine scale factor in (0, 1]; default from REPRO_SCALE or 0.125",
+    )
+    args = parser.parse_args(argv)
+    ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        result = REGISTRY[exp_id](scale=args.scale)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Shared plumbing for the per-figure experiment harnesses.
+
+An experiment is a grid of :class:`PointResult`-producing simulation
+points. Each point runs the trace engine for the steady-state breakdown
+and the analytic solver for peak throughput, exactly the two quantities
+every figure of the paper plots.
+
+``ExperimentSettings.from_env`` lets benchmark runs choose fidelity:
+``REPRO_SCALE`` (machine scale factor, default 0.125 — a 3-core slice of
+the 24-core server with all capacity ratios preserved) and
+``REPRO_MEASURE`` (a multiplier on measured request counts).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.analytic import (
+    PerfPoint,
+    ServiceProfile,
+    solve_peak_throughput,
+)
+from repro.engine.tracer import TraceConfig, TraceResult, TraceSimulator
+from repro.errors import ConfigError
+from repro.params import SystemConfig
+from repro.report.tables import Table, format_breakdown
+from repro.traffic import MemCategory
+from repro.workloads.kvs import KvsParams, KvsWorkload
+from repro.workloads.l3fwd import L3fwdParams, L3fwdWorkload
+
+DEFAULT_SCALE = 0.125
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Fidelity knobs for an experiment run."""
+
+    scale: float = DEFAULT_SCALE
+    measure_multiplier: float = 1.0
+
+    @classmethod
+    def from_env(cls) -> "ExperimentSettings":
+        scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+        measure = float(os.environ.get("REPRO_MEASURE", 1.0))
+        return cls(scale=scale, measure_multiplier=measure)
+
+    def measure_requests(self, cfg: TraceConfig) -> int:
+        return max(500, int(cfg.default_measure() * self.measure_multiplier))
+
+
+@dataclass
+class PointResult:
+    """One simulated configuration (one bar of a paper figure)."""
+
+    label: str
+    system: SystemConfig
+    trace: TraceResult
+    profile: ServiceProfile
+    perf: PerfPoint
+
+    @property
+    def throughput_mrps(self) -> float:
+        return self.perf.throughput_mrps
+
+    @property
+    def mem_bandwidth_gbps(self) -> float:
+        return self.perf.mem_bandwidth_gbps
+
+    @property
+    def breakdown(self) -> Dict[MemCategory, float]:
+        return self.trace.per_request()
+
+    def full_scale_mrps(self, scale: float) -> float:
+        """Throughput extrapolated to the unscaled 24-core machine."""
+        if scale <= 0:
+            raise ConfigError("scale must be positive")
+        return self.throughput_mrps / scale
+
+
+@dataclass
+class FigureResult:
+    """All points of one figure plus rendering/notes."""
+
+    figure: str
+    title: str
+    points: List[PointResult] = field(default_factory=list)
+    series: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    scale: float = DEFAULT_SCALE
+
+    def point(self, label: str) -> PointResult:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise ConfigError(f"{self.figure}: no point labelled {label!r}")
+
+    def labels(self) -> List[str]:
+        return [p.label for p in self.points]
+
+    def render(self) -> str:
+        table = Table(
+            ["Configuration", "Mrps (full-scale)", "Mem BW (GB/s)", "Mem acc/req"],
+            title=f"{self.figure}: {self.title} (machine scale={self.scale})",
+        )
+        for p in self.points:
+            table.add_row(
+                p.label,
+                p.full_scale_mrps(self.scale),
+                p.mem_bandwidth_gbps / self.scale,
+                p.trace.mem_accesses_per_request(),
+            )
+        lines = [table.render(), ""]
+        lines.append("Per-request memory access breakdown:")
+        for p in self.points:
+            lines.append(f"  {p.label:32s} {format_breakdown(p.breakdown)}")
+        if self.notes:
+            lines.append("")
+            lines.extend(f"NOTE: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def run_point(
+    label: str,
+    system: SystemConfig,
+    workload,
+    policy: str,
+    sweeper: bool = False,
+    queued_depth: int = 1,
+    settings: Optional[ExperimentSettings] = None,
+    nic_tx_sweep: bool = False,
+    seed: int = 42,
+) -> PointResult:
+    """Trace one configuration and solve its peak operating point."""
+    settings = settings if settings is not None else ExperimentSettings()
+    cfg = TraceConfig(
+        system=system,
+        workload=workload,
+        policy=policy,
+        sweeper=sweeper,
+        nic_tx_sweep=nic_tx_sweep,
+        queued_depth=queued_depth,
+        seed=seed,
+    )
+    cfg.measure_requests = settings.measure_requests(cfg)
+    trace = TraceSimulator(cfg).run()
+    profile = ServiceProfile.from_trace(trace)
+    perf = solve_peak_throughput(profile, system)
+    return PointResult(
+        label=label, system=system, trace=trace, profile=profile, perf=perf
+    )
+
+
+def kvs_workload(scale: float, item_bytes: int) -> KvsWorkload:
+    """The paper's MICA configuration, shrunk with the machine."""
+    return KvsWorkload(KvsParams(item_bytes=item_bytes).scaled(scale))
+
+
+def l3fwd_workload(packet_bytes: int, l1_resident: bool = False) -> L3fwdWorkload:
+    params = L3fwdParams(packet_blocks=(packet_bytes + 63) // 64)
+    if l1_resident:
+        params = params.l1_resident()
+    return L3fwdWorkload(params)
+
+
+def kvs_system(
+    scale: float,
+    rx_buffers: int,
+    ddio_ways: int,
+    packet_bytes: int,
+    num_channels: int = 4,
+) -> SystemConfig:
+    """Table I machine at ``scale`` with the experiment's NIC knobs."""
+    return (
+        SystemConfig()
+        .scaled(scale)
+        .with_nic(
+            ddio_ways=ddio_ways,
+            rx_buffers_per_core=rx_buffers,
+            packet_bytes=packet_bytes,
+        )
+        .with_memory(num_channels=num_channels)
+    )
+
+
+def policy_label(policy: str, ways: int, sweeper: bool) -> str:
+    if policy == "dma":
+        return "DMA"
+    if policy == "ideal":
+        return "Ideal DDIO"
+    name = f"DDIO {ways} Ways"
+    return f"{name} + Sweeper" if sweeper else name

@@ -1,0 +1,62 @@
+"""Figure 1: KVS network data leaks across injection baselines.
+
+Write-heavy MICA KVS with 1 KB items on all cores. Sweeps RX buffers per
+core in {512, 1024, 2048} and compares DMA, DDIO with {2, 4, 6} ways,
+and ideal-DDIO. Reports (a) peak throughput, (b) memory bandwidth at
+peak, (c) the per-request memory-access breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    FigureResult,
+    kvs_system,
+    kvs_workload,
+    policy_label,
+    run_point,
+)
+
+BUFFER_SWEEP = (512, 1024, 2048)
+DDIO_WAYS = (2, 4, 6)
+ITEM_BYTES = 1024
+
+
+def run(
+    scale: Optional[float] = None,
+    settings: Optional[ExperimentSettings] = None,
+) -> FigureResult:
+    settings = settings or ExperimentSettings.from_env()
+    if scale is not None:
+        settings = ExperimentSettings(scale, settings.measure_multiplier)
+    result = FigureResult(
+        figure="Figure 1",
+        title="KVS throughput/bandwidth/breakdown vs RX buffer provisioning",
+        scale=settings.scale,
+    )
+    for buffers in BUFFER_SWEEP:
+        configs = [("dma", 2, False)]
+        configs += [("ddio", w, False) for w in DDIO_WAYS]
+        configs += [("ideal", 2, False)]
+        for policy, ways, sweeper in configs:
+            system = kvs_system(settings.scale, buffers, ways, ITEM_BYTES)
+            label = f"{buffers} bufs / {policy_label(policy, ways, sweeper)}"
+            result.points.append(
+                run_point(
+                    label,
+                    system,
+                    kvs_workload(settings.scale, ITEM_BYTES),
+                    policy,
+                    sweeper=sweeper,
+                    settings=settings,
+                )
+            )
+    result.notes.append(
+        "Expected shape: DDIO > DMA in throughput; DDIO's breakdown is "
+        "dominated by RX Evct (consumed-buffer evictions) while CPU RX Rd "
+        "(premature evictions) stays negligible; throughput falls as "
+        "buffer provisioning grows."
+    )
+    return result

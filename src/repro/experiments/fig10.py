@@ -1,0 +1,151 @@
+"""Figure 10: shallow vs deep buffering under spiky service times (§VI-F).
+
+A KVS microbenchmark where requests occasionally suffer an extra
+[1, 100] µs processing delay (temporal queue buildup, equivalent to
+arrival bursts). With the default 2-way DDIO:
+
+* 10a — peak throughput achievable without packet drops across RX ring
+  depths {128 .. 2048}, baseline vs Sweeper;
+* 10b — packet drop rate vs offered arrival rate for 128 and 2048
+  buffers (and 2048 + Sweeper).
+
+The steady-state trace provides each configuration's load-dependent
+service time; a per-core finite-ring M/G/1/B event simulation then
+measures drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.analytic import (
+    ServiceProfile,
+    bandwidth_gbps,
+    service_cycles,
+)
+from repro.engine.events import FiniteRingSimulator
+from repro.experiments.common import (
+    ExperimentSettings,
+    FigureResult,
+    kvs_system,
+    run_point,
+)
+from repro.mem.dram import DramModel
+from repro.params import SystemConfig
+from repro.workloads.kvs import KvsParams
+from repro.workloads.spiky import SpikyKvsWorkload
+
+BUFFER_SWEEP = (128, 256, 512, 1024, 2048)
+PACKET_BYTES = 1024
+DDIO_WAYS = 2
+SPIKE_PROBABILITY = 0.001
+
+
+@dataclass
+class DropCurve:
+    """Drop rate as a function of offered load for one configuration."""
+
+    label: str
+    offered_mrps: List[float]
+    drop_rate: List[float]
+
+
+def _service_fn(profile: ServiceProfile, system: SystemConfig):
+    dram = DramModel(system.memory, system.cpu.freq_ghz)
+
+    def base_service_us(offered_mrps: float) -> float:
+        latency = dram.avg_latency_cycles(bandwidth_gbps(profile, offered_mrps))
+        return service_cycles(profile, system, latency) / system.cpu.cycles_per_us
+
+    return base_service_us
+
+
+def _spiky_workload(scale: float) -> SpikyKvsWorkload:
+    return SpikyKvsWorkload(
+        KvsParams(item_bytes=PACKET_BYTES).scaled(scale),
+        spike_probability=SPIKE_PROBABILITY,
+    )
+
+
+def _ring_sim(
+    point, system: SystemConfig, buffers: int, rng_seed: int = 97
+) -> FiniteRingSimulator:
+    spikes = _spiky_workload(1.0)  # sampler only; dataset unused
+    return FiniteRingSimulator(
+        system,
+        ring_entries=buffers,
+        base_service_us=_service_fn(point.profile, system),
+        spike_sampler=spikes.extra_delay_us,
+        seed=rng_seed,
+    )
+
+
+def run(
+    scale: Optional[float] = None,
+    settings: Optional[ExperimentSettings] = None,
+    packets_per_core: int = 12000,
+) -> FigureResult:
+    settings = settings or ExperimentSettings.from_env()
+    if scale is not None:
+        settings = ExperimentSettings(scale, settings.measure_multiplier)
+    result = FigureResult(
+        figure="Figure 10",
+        title="Buffer provisioning under spiky service times",
+        scale=settings.scale,
+    )
+
+    peaks: Dict[Tuple[int, bool], float] = {}
+    for buffers in BUFFER_SWEEP:
+        for sweeper in (False, True):
+            system = kvs_system(settings.scale, buffers, DDIO_WAYS, PACKET_BYTES)
+            label = f"{buffers} bufs" + (" + Sweeper" if sweeper else "")
+            point = run_point(
+                label,
+                system,
+                _spiky_workload(settings.scale),
+                "ddio",
+                sweeper=sweeper,
+                settings=settings,
+            )
+            result.points.append(point)
+            sim = _ring_sim(point, system, buffers)
+            peaks[(buffers, sweeper)] = sim.peak_no_drop_mrps(
+                packets_per_core=packets_per_core
+            )
+    result.series["peak_no_drop_mrps"] = peaks
+
+    curves: List[DropCurve] = []
+    for buffers, sweeper in ((128, False), (2048, False), (2048, True)):
+        label = f"{buffers} bufs" + (" + Sweeper" if sweeper else "")
+        point = result.point(label)
+        system = point.system
+        sim = _ring_sim(point, system, buffers)
+        top = 1.5 * point.throughput_mrps
+        offered = list(np.linspace(0.2 * top, top, 8))
+        drops = [
+            sim.run(x, packets_per_core=packets_per_core).drop_rate
+            for x in offered
+        ]
+        curves.append(
+            DropCurve(label=label, offered_mrps=offered, drop_rate=drops)
+        )
+    result.series["drop_curves"] = curves
+
+    shallow = peaks[(128, False)]
+    best_base = max(peaks[(b, False)] for b in BUFFER_SWEEP)
+    deep_sw = peaks[(2048, True)]
+    result.notes.append(
+        f"No-drop peak: the best deep baseline delivers "
+        f"{best_base / shallow:.2f}x the shallow (128) throughput, and deep "
+        f"buffers + Sweeper {deep_sw / shallow:.2f}x (paper: 3.3x and 3.7x; "
+        "paper also observes the deepest baseline dropping below the best, "
+        "which this model reproduces more strongly)."
+    )
+    result.notes.append(
+        "Sweeper lifts the 2048-buffer no-drop peak above every baseline "
+        f"depth: {deep_sw:.2f} vs best baseline {best_base:.2f} (scaled Mrps)."
+    )
+    return result

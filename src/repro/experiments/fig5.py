@@ -1,0 +1,89 @@
+"""Figure 5: sensitivity to DDIO way allocation, with and without Sweeper.
+
+MICA KVS with item/packet sizes {512 B, 1 KB} and RX buffers per core in
+{512, 1024, 2048}; DDIO with {2, 4, 6, 12} ways, each also with Sweeper,
+plus ideal-DDIO. This is the paper's central results grid: Sweeper must
+eliminate RX Evct entirely, land within a few percent of ideal-DDIO, and
+be insensitive to buffer provisioning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    FigureResult,
+    kvs_system,
+    kvs_workload,
+    policy_label,
+    run_point,
+)
+
+PACKET_SIZES = (512, 1024)
+BUFFER_SWEEP = (512, 1024, 2048)
+DDIO_WAYS = (2, 4, 6, 12)
+
+
+def configs() -> Iterable[Tuple[str, int, bool]]:
+    for ways in DDIO_WAYS:
+        yield ("ddio", ways, False)
+        yield ("ddio", ways, True)
+    yield ("ideal", 2, False)
+
+
+def point_label(packet: int, buffers: int, policy: str, ways: int, sweeper: bool) -> str:
+    return f"{packet}B / {buffers} bufs / {policy_label(policy, ways, sweeper)}"
+
+
+def run(
+    scale: Optional[float] = None,
+    settings: Optional[ExperimentSettings] = None,
+    packet_sizes: Tuple[int, ...] = PACKET_SIZES,
+    buffer_sweep: Tuple[int, ...] = BUFFER_SWEEP,
+    ddio_ways: Tuple[int, ...] = DDIO_WAYS,
+) -> FigureResult:
+    settings = settings or ExperimentSettings.from_env()
+    if scale is not None:
+        settings = ExperimentSettings(scale, settings.measure_multiplier)
+    result = FigureResult(
+        figure="Figure 5",
+        title="DDIO ways x Sweeper across packet sizes and buffer depths",
+        scale=settings.scale,
+    )
+    for packet in packet_sizes:
+        for buffers in buffer_sweep:
+            for policy, ways, sweeper in configs():
+                if policy == "ddio" and ways not in ddio_ways:
+                    continue
+                system = kvs_system(settings.scale, buffers, ways, packet)
+                result.points.append(
+                    run_point(
+                        point_label(packet, buffers, policy, ways, sweeper),
+                        system,
+                        kvs_workload(settings.scale, packet),
+                        policy,
+                        sweeper=sweeper,
+                        settings=settings,
+                    )
+                )
+    sweeper_gains = []
+    for packet in packet_sizes:
+        for buffers in buffer_sweep:
+            for ways in ddio_ways:
+                base = result.point(point_label(packet, buffers, "ddio", ways, False))
+                sw = result.point(point_label(packet, buffers, "ddio", ways, True))
+                sweeper_gains.append(sw.throughput_mrps / base.throughput_mrps)
+    result.series["sweeper_gain_min"] = min(sweeper_gains)
+    result.series["sweeper_gain_max"] = max(sweeper_gains)
+    result.notes.append(
+        f"Sweeper throughput gain over matching DDIO config: "
+        f"{min(sweeper_gains):.2f}x - {max(sweeper_gains):.2f}x "
+        f"(paper: 1.02x - 2.6x)."
+    )
+    result.notes.append(
+        "Expected shape: Sweeper eliminates RX Evct, tracks ideal-DDIO "
+        "within ~2-18%, and is insensitive to buffer depth, while plain "
+        "DDIO degrades as buffers grow."
+    )
+    return result

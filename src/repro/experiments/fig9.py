@@ -1,0 +1,193 @@
+"""Figure 9: collocation of a network-intensive and a memory-intensive
+tenant (§VI-E).
+
+L3fwd (L1-resident dataset, 2048 RX buffers/core, 1 KB packets) runs on
+half the cores; X-Mem (2 MB private dataset per process) on the other
+half. Two partitioning scenarios:
+
+* 9a — disjoint LLC partitions (A, B) with A + B = 12: DDIO confined to
+  the A ways, X-Mem fills confined to the B ways;
+* 9b — overlapping: X-Mem may use the whole LLC while DDIO ways sweep
+  2..12.
+
+Each point reports L3fwd throughput and X-Mem IPC from the collocated
+fixed point; the rendered series are normalized the way the paper plots
+them ((4,8)+Sweeper for 9a; 6-way/2-way Sweeper for 9b).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.analytic import (
+    CollocatedPerf,
+    ServiceProfile,
+    solve_collocated,
+)
+from repro.engine.tracer import CollocationSimulator, TraceConfig
+from repro.experiments.common import (
+    ExperimentSettings,
+    FigureResult,
+    kvs_system,
+    l3fwd_workload,
+)
+from repro.traffic import MemCategory
+from repro.workloads.xmem import XMemWorkload
+
+PARTITIONS_9A = ((2, 10), (4, 8), (6, 6), (8, 4), (10, 2))
+OVERLAP_WAYS_9B = (2, 4, 6, 8, 10, 12)
+PACKET_BYTES = 1024
+RX_BUFFERS = 2048
+
+
+@dataclass
+class CollocationPoint:
+    """One collocated configuration's joint performance."""
+
+    label: str
+    ddio_ways: int
+    xmem_ways: Optional[int]
+    sweeper: bool
+    perf: CollocatedPerf
+    nf_blocks_per_request: float
+    xmem_blocks_per_access: float
+
+
+def _run_collocated(
+    settings: ExperimentSettings,
+    ddio_ways: int,
+    xmem_mask: Optional[List[int]],
+    nf_mask: Optional[List[int]],
+    sweeper: bool,
+) -> CollocationPoint:
+    system = kvs_system(settings.scale, RX_BUFFERS, ddio_ways, PACKET_BYTES)
+    cores = system.cpu.num_cores
+    xmem_cores = list(range(cores // 2, cores))
+    nf_cores_n = cores - len(xmem_cores)
+    cfg = TraceConfig(
+        system=system,
+        workload=l3fwd_workload(PACKET_BYTES, l1_resident=True),
+        policy="ddio",
+        sweeper=sweeper,
+    )
+    cfg.measure_requests = settings.measure_requests(cfg)
+    sim = CollocationSimulator(
+        cfg, XMemWorkload(), xmem_cores, xmem_ways_mask=xmem_mask
+    )
+    if nf_mask is not None:
+        for core in range(nf_cores_n):
+            sim.hier.set_core_fill_mask(core, nf_mask)
+    colo = sim.run_collocated()
+    trace = colo.nf_result
+
+    per_req = trace.per_request()
+    app = per_req[MemCategory.CPU_OTHER_RD] + per_req[MemCategory.OTHER_EVCT]
+    nf_blocks = trace.mem_accesses_per_request() - app
+    nf_profile = dataclasses.replace(
+        ServiceProfile.from_trace(trace), mem_blocks_total=nf_blocks
+    )
+    xmem_blocks = app * trace.requests / max(colo.xmem_accesses, 1)
+    perf = solve_collocated(
+        nf_profile,
+        colo.xmem_level_counts,
+        xmem_blocks,
+        system,
+        nf_cores=nf_cores_n,
+        xmem_cores=len(xmem_cores),
+    )
+    label = (
+        f"DDIO {ddio_ways} ways / "
+        f"X-Mem {'overlap' if xmem_mask is None else len(xmem_mask)} ways"
+        + (" + Sweeper" if sweeper else "")
+    )
+    return CollocationPoint(
+        label=label,
+        ddio_ways=ddio_ways,
+        xmem_ways=None if xmem_mask is None else len(xmem_mask),
+        sweeper=sweeper,
+        perf=perf,
+        nf_blocks_per_request=nf_blocks,
+        xmem_blocks_per_access=xmem_blocks,
+    )
+
+
+def run(
+    scale: Optional[float] = None,
+    settings: Optional[ExperimentSettings] = None,
+) -> FigureResult:
+    settings = settings or ExperimentSettings.from_env()
+    if scale is not None:
+        settings = ExperimentSettings(scale, settings.measure_multiplier)
+    # Collocation needs at least one core per tenant; clamp the scale so
+    # the shrunken machine still has two cores.
+    min_scale = 2.01 / 24.0
+    if settings.scale < min_scale:
+        settings = ExperimentSettings(min_scale, settings.measure_multiplier)
+    result = FigureResult(
+        figure="Figure 9",
+        title="Collocated L3fwd + X-Mem performance",
+        scale=settings.scale,
+    )
+
+    partitioned: Dict[Tuple[int, bool], CollocationPoint] = {}
+    llc_ways = 12
+    for a, b in PARTITIONS_9A:
+        for sweeper in (False, True):
+            point = _run_collocated(
+                settings,
+                ddio_ways=a,
+                xmem_mask=list(range(a, llc_ways)),
+                nf_mask=list(range(a)),
+                sweeper=sweeper,
+            )
+            partitioned[(a, sweeper)] = point
+    overlapping: Dict[Tuple[int, bool], CollocationPoint] = {}
+    for ways in OVERLAP_WAYS_9B:
+        for sweeper in (False, True):
+            overlapping[(ways, sweeper)] = _run_collocated(
+                settings,
+                ddio_ways=ways,
+                xmem_mask=None,
+                nf_mask=None,
+                sweeper=sweeper,
+            )
+
+    result.series["partitioned"] = partitioned
+    result.series["overlapping"] = overlapping
+
+    ref_a = partitioned[(4, True)]
+    frontier = {
+        (a, sw): (
+            p.perf.nf_throughput_mrps / ref_a.perf.nf_throughput_mrps,
+            p.perf.xmem_ipc / ref_a.perf.xmem_ipc,
+        )
+        for (a, sw), p in partitioned.items()
+    }
+    result.series["frontier_normalized"] = frontier
+
+    gains_nf = []
+    gains_xm = []
+    for a, _b in PARTITIONS_9A:
+        base = partitioned[(a, False)]
+        sw = partitioned[(a, True)]
+        gains_nf.append(sw.perf.nf_throughput_mrps / base.perf.nf_throughput_mrps)
+        gains_xm.append(sw.perf.xmem_ipc / base.perf.xmem_ipc)
+    result.notes.append(
+        "9a partitions: Sweeper boosts L3fwd by "
+        f"{min(gains_nf):.2f}x-{max(gains_nf):.2f}x and X-Mem IPC by "
+        f"{min(gains_xm):.2f}x-{max(gains_xm):.2f}x "
+        "(paper at (4,8): 1.5x and 1.14x)."
+    )
+    xm_overlap = [
+        overlapping[(w, True)].perf.xmem_ipc
+        / overlapping[(w, False)].perf.xmem_ipc
+        for w in OVERLAP_WAYS_9B
+    ]
+    result.notes.append(
+        "9b overlapping: Sweeper boosts X-Mem IPC by "
+        f"{min(xm_overlap):.2f}x-{max(xm_overlap):.2f}x (paper: 1.18x-1.42x); "
+        "with Sweeper, L3fwd throughput is insensitive to DDIO way count."
+    )
+    return result

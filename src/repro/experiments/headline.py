@@ -1,0 +1,82 @@
+"""Headline claims: memory bandwidth saved and peak throughput gained.
+
+The abstract's numbers — Sweeper conserves up to 1.3x of memory
+bandwidth and lifts peak sustainable throughput by up to 2.6x over
+DDIO-based configurations — are maxima over the evaluation grid. This
+harness reruns the decisive corner (1 KB packets, 2048 buffers per core)
+across DDIO way counts and channel provisioning and reports both ratios.
+
+Bandwidth conservation is measured the way the paper frames it: memory
+traffic per unit of work (bytes per request), baseline over Sweeper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.analytic import solve_peak_throughput
+from repro.experiments.common import (
+    ExperimentSettings,
+    FigureResult,
+    kvs_system,
+    kvs_workload,
+    policy_label,
+    run_point,
+)
+
+PACKET_BYTES = 1024
+RX_BUFFERS = 2048
+DDIO_WAYS = (2, 6, 12)
+CHANNELS = (3, 4)
+
+
+def run(
+    scale: Optional[float] = None,
+    settings: Optional[ExperimentSettings] = None,
+) -> FigureResult:
+    settings = settings or ExperimentSettings.from_env()
+    if scale is not None:
+        settings = ExperimentSettings(scale, settings.measure_multiplier)
+    result = FigureResult(
+        figure="Headline",
+        title="Abstract claims: bandwidth savings and throughput gains",
+        scale=settings.scale,
+    )
+    throughput_gain = []
+    bandwidth_saving = []
+    for ways in DDIO_WAYS:
+        base_system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
+        pair = {}
+        for sweeper in (False, True):
+            label = policy_label("ddio", ways, sweeper)
+            point = run_point(
+                label,
+                base_system,
+                kvs_workload(settings.scale, PACKET_BYTES),
+                "ddio",
+                sweeper=sweeper,
+                settings=settings,
+            )
+            result.points.append(point)
+            pair[sweeper] = point
+        bandwidth_saving.append(
+            pair[False].trace.mem_accesses_per_request()
+            / pair[True].trace.mem_accesses_per_request()
+        )
+        for channels in CHANNELS:
+            system = base_system.with_memory(num_channels=channels)
+            base = solve_peak_throughput(pair[False].profile, system)
+            sw = solve_peak_throughput(pair[True].profile, system)
+            throughput_gain.append(sw.throughput_mrps / base.throughput_mrps)
+
+    result.series["max_throughput_gain"] = max(throughput_gain)
+    result.series["max_bandwidth_saving"] = max(bandwidth_saving)
+    result.notes.append(
+        f"Max Sweeper throughput gain: {max(throughput_gain):.2f}x "
+        "(paper: up to 2.6x)."
+    )
+    result.notes.append(
+        f"Max memory-traffic-per-request saving: {max(bandwidth_saving):.2f}x "
+        "(paper: up to 1.3x of memory bandwidth conserved)."
+    )
+    return result

@@ -1,0 +1,27 @@
+"""Table I: the simulated system configuration."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentSettings, FigureResult
+from repro.params import TABLE1
+from repro.report.tables import render_table1
+
+
+def run(
+    scale: Optional[float] = None,
+    settings: Optional[ExperimentSettings] = None,
+) -> FigureResult:
+    settings = settings or ExperimentSettings.from_env()
+    if scale is not None:
+        settings = ExperimentSettings(scale, settings.measure_multiplier)
+    result = FigureResult(
+        figure="Table I",
+        title="Simulated system parameters",
+        scale=settings.scale,
+    )
+    result.series["rendered"] = render_table1(TABLE1)
+    result.series["scaled_rendered"] = render_table1(TABLE1.scaled(settings.scale))
+    result.notes.append(render_table1(TABLE1))
+    return result

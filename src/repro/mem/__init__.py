@@ -1,0 +1,15 @@
+"""Memory subsystem: physical address layout and DDR4 channel model."""
+
+from repro.mem.layout import AddressSpace, Region, RegionKind
+from repro.mem.dram import DramModel, DramSampler
+from repro.mem.banked import BankedDramModel, DdrTiming
+
+__all__ = [
+    "AddressSpace",
+    "Region",
+    "RegionKind",
+    "BankedDramModel",
+    "DdrTiming",
+    "DramModel",
+    "DramSampler",
+]

@@ -1,0 +1,149 @@
+"""DDR4 memory-channel model.
+
+Two complementary views of the same memory system:
+
+* :class:`DramModel` — the analytic load-latency curve used by the
+  fixed-point throughput solver. Average access latency grows
+  hyperbolically with channel utilization, the standard open-queueing
+  shape that reproduces the paper's observation that leak-driven
+  bandwidth pressure inflates every memory access.
+
+* :class:`DramSampler` — a per-channel FIFO event model used where the
+  paper needs actual latency *distributions* (Figure 6 CDFs) or drop
+  dynamics (Figure 10). Blocks interleave across channels by block
+  address, mimicking fine-grained channel interleaving.
+
+Latencies are in CPU cycles; bandwidth in GB/s.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.params import CACHE_BLOCK_BYTES, MemoryParams
+
+#: Utilization beyond which the analytic curve is treated as saturated.
+MAX_STABLE_UTILIZATION = 0.985
+
+
+class DramModel:
+    """Analytic load-latency curve for a multi-channel DDR4 system."""
+
+    def __init__(self, params: MemoryParams, freq_ghz: float) -> None:
+        if freq_ghz <= 0:
+            raise ConfigError("freq_ghz must be positive")
+        self.params = params
+        self.freq_ghz = freq_ghz
+
+    @property
+    def usable_bandwidth_gbps(self) -> float:
+        return self.params.usable_bandwidth_gbps
+
+    def utilization(self, demand_gbps: float) -> float:
+        """Fraction of sustainable random-access bandwidth consumed."""
+        if demand_gbps < 0:
+            raise ConfigError("bandwidth demand must be non-negative")
+        return demand_gbps / self.usable_bandwidth_gbps
+
+    def is_stable(self, demand_gbps: float) -> bool:
+        return self.utilization(demand_gbps) < MAX_STABLE_UTILIZATION
+
+    def queueing_cycles(self, demand_gbps: float) -> float:
+        """Mean queueing delay added on top of the idle latency."""
+        rho = min(self.utilization(demand_gbps), MAX_STABLE_UTILIZATION)
+        return self.params.queue_scale_cycles * rho / (1.0 - rho)
+
+    def avg_latency_cycles(self, demand_gbps: float) -> float:
+        """Mean loaded access latency at the given bandwidth demand."""
+        return self.params.idle_latency_cycles + self.queueing_cycles(demand_gbps)
+
+    def p99_latency_cycles(self, demand_gbps: float) -> float:
+        """p99 latency, treating queueing delay as exponential (M/M/1)."""
+        mean_q = self.queueing_cycles(demand_gbps)
+        return self.params.idle_latency_cycles + mean_q * math.log(100.0)
+
+    def latency_cdf(
+        self, demand_gbps: float, points: int = 200
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Closed-form CDF of access latency at the given demand.
+
+        Returns ``(latency_cycles, cdf)`` arrays. The distribution is a
+        shifted exponential: deterministic idle latency plus exponential
+        queueing delay of the analytic mean.
+        """
+        mean_q = max(self.queueing_cycles(demand_gbps), 1e-9)
+        base = float(self.params.idle_latency_cycles)
+        lat = np.linspace(base, base + mean_q * 7.0, points)
+        cdf = 1.0 - np.exp(-(lat - base) / mean_q)
+        return lat, cdf
+
+    def service_cycles_per_block(self) -> float:
+        """Mean per-channel occupancy of one 64 B transfer, in cycles."""
+        gb_per_block = CACHE_BLOCK_BYTES / 1e9
+        seconds = gb_per_block / (
+            self.params.channel_peak_gbps * self.params.efficiency
+        )
+        return seconds * self.freq_ghz * 1e9
+
+
+class DramSampler:
+    """Event-driven per-channel FIFO latency sampler.
+
+    Accesses are presented in non-decreasing time order per channel
+    (global time order is sufficient). Each access occupies its channel
+    for the mean block service time; the returned latency is idle latency
+    plus any time spent waiting for the channel. Writebacks occupy
+    bandwidth but their latency is not observed by any requester.
+    """
+
+    def __init__(
+        self,
+        params: MemoryParams,
+        freq_ghz: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.params = params
+        self.model = DramModel(params, freq_ghz)
+        self._service = self.model.service_cycles_per_block()
+        self._free_at: List[float] = [0.0] * params.num_channels
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.read_latencies: List[float] = []
+
+    def channel_of_block(self, block: int) -> int:
+        return block % self.params.num_channels
+
+    def _occupy(self, channel: int, now_cycles: float) -> float:
+        """Advance the channel clock; return queueing delay experienced."""
+        start = max(self._free_at[channel], now_cycles)
+        # Exponential service jitter models bank conflicts/row misses.
+        service = self._service * float(self._rng.exponential(1.0))
+        self._free_at[channel] = start + service
+        return start - now_cycles
+
+    def read(self, block: int, now_cycles: float) -> float:
+        """Issue a demand read; returns and records its total latency."""
+        wait = self._occupy(self.channel_of_block(block), now_cycles)
+        latency = self.params.idle_latency_cycles + wait
+        self.read_latencies.append(latency)
+        return latency
+
+    def write(self, block: int, now_cycles: float) -> None:
+        """Issue a writeback; consumes bandwidth, latency unobserved."""
+        self._occupy(self.channel_of_block(block), now_cycles)
+
+    def reset_stats(self) -> None:
+        self.read_latencies.clear()
+
+    def percentile(self, q: float) -> float:
+        if not self.read_latencies:
+            raise ConfigError("no read latencies recorded")
+        return float(np.percentile(np.array(self.read_latencies), q))
+
+    def mean_latency(self) -> float:
+        if not self.read_latencies:
+            raise ConfigError("no read latencies recorded")
+        return float(np.mean(np.array(self.read_latencies)))

@@ -1,0 +1,138 @@
+"""Physical address-space layout for the simulated server.
+
+The trace engine works on *block addresses* (byte address >> 6). Regions
+are allocated contiguously by an :class:`AddressSpace` builder and carry a
+:class:`RegionKind`, which is how evicted dirty blocks are attributed to
+the paper's traffic categories (RX Evct / TX Evct / Other Evct).
+
+Regions never overlap and are block-aligned by construction. Lookups are
+O(log n) via bisect; the hot path avoids them entirely because cache lines
+carry their kind from allocation time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, List, Optional
+
+from repro.errors import AddressError, ConfigError
+from repro.params import CACHE_BLOCK_BYTES
+
+
+class RegionKind(IntEnum):
+    """Coarse classification of memory regions for traffic attribution."""
+
+    RX_BUFFER = 0
+    TX_BUFFER = 1
+    APP = 2
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous, block-aligned span of physical memory."""
+
+    name: str
+    kind: RegionKind
+    start: int
+    size: int
+    owner_core: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start % CACHE_BLOCK_BYTES or self.size % CACHE_BLOCK_BYTES:
+            raise ConfigError(f"region {self.name} is not block-aligned")
+        if self.size <= 0:
+            raise ConfigError(f"region {self.name} has non-positive size")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    @property
+    def start_block(self) -> int:
+        return self.start // CACHE_BLOCK_BYTES
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size // CACHE_BLOCK_BYTES
+
+    @property
+    def end_block(self) -> int:
+        return self.start_block + self.num_blocks
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def contains_block(self, block: int) -> bool:
+        return self.start_block <= block < self.end_block
+
+    def block_at(self, offset: int) -> int:
+        """Block address of byte ``offset`` into the region."""
+        if not 0 <= offset < self.size:
+            raise AddressError(
+                f"offset {offset} outside region {self.name} of size {self.size}"
+            )
+        return (self.start + offset) // CACHE_BLOCK_BYTES
+
+
+class AddressSpace:
+    """Sequential allocator and classifier for simulation regions."""
+
+    def __init__(self, base: int = 0) -> None:
+        if base % CACHE_BLOCK_BYTES:
+            raise ConfigError("address space base must be block-aligned")
+        self._next = base
+        self._regions: List[Region] = []
+        self._by_name: Dict[str, Region] = {}
+        self._starts: List[int] = []
+
+    def allocate(
+        self,
+        name: str,
+        size: int,
+        kind: RegionKind,
+        owner_core: Optional[int] = None,
+        align: int = CACHE_BLOCK_BYTES,
+    ) -> Region:
+        """Reserve ``size`` bytes (rounded up to a whole block)."""
+        if name in self._by_name:
+            raise ConfigError(f"duplicate region name: {name}")
+        if align % CACHE_BLOCK_BYTES:
+            raise ConfigError("alignment must be a multiple of the block size")
+        start = -(-self._next // align) * align
+        size = -(-size // CACHE_BLOCK_BYTES) * CACHE_BLOCK_BYTES
+        region = Region(name=name, kind=kind, start=start, size=size,
+                        owner_core=owner_core)
+        self._next = region.end
+        self._regions.append(region)
+        self._by_name[name] = region
+        self._starts.append(region.start)
+        return region
+
+    @property
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._next
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise AddressError(f"no region named {name!r}") from None
+
+    def find(self, addr: int) -> Region:
+        """Return the region containing byte address ``addr``."""
+        idx = bisect_right(self._starts, addr) - 1
+        if idx >= 0 and self._regions[idx].contains(addr):
+            return self._regions[idx]
+        raise AddressError(f"address {addr:#x} is outside every region")
+
+    def find_block(self, block: int) -> Region:
+        return self.find(block * CACHE_BLOCK_BYTES)
+
+    def kind_of_block(self, block: int) -> RegionKind:
+        return self.find_block(block).kind

@@ -1,0 +1,37 @@
+"""NIC model: injection policies, RX/TX rings, QPs, arrival processes."""
+
+from repro.nic.ddio import (
+    DdioPolicy,
+    DmaPolicy,
+    IdealDdioPolicy,
+    InjectionPolicy,
+    make_policy,
+)
+from repro.nic.rings import RxRing, TxRing
+from repro.nic.qp import CompletionQueueEntry, NicEngine, QueuePair, WorkQueueEntry
+from repro.nic.arrivals import BacklogController, PoissonArrivals, SpikeSampler
+from repro.nic.dynamic import (
+    DynamicDdioController,
+    DynamicTraceHook,
+    DynamicWaysConfig,
+)
+
+__all__ = [
+    "BacklogController",
+    "CompletionQueueEntry",
+    "DdioPolicy",
+    "DynamicDdioController",
+    "DynamicTraceHook",
+    "DynamicWaysConfig",
+    "DmaPolicy",
+    "IdealDdioPolicy",
+    "InjectionPolicy",
+    "NicEngine",
+    "PoissonArrivals",
+    "QueuePair",
+    "RxRing",
+    "SpikeSampler",
+    "TxRing",
+    "WorkQueueEntry",
+    "make_policy",
+]

@@ -1,0 +1,94 @@
+"""Packet arrival processes and queue-backlog control.
+
+Three generators cover every load shape the paper uses:
+
+* :class:`PoissonArrivals` — the traffic generator of the appendix
+  ("injects packets at configurable Poisson arrival rate").
+* :class:`BacklogController` — §IV-B's modified load generator, which
+  keeps at least ``D`` unconsumed packets in every core's RX ring to
+  emulate batched processing of degree ``D``.
+* :class:`SpikeSampler` — §VI-F's microbenchmark behaviour: a small
+  probability of an extra service delay sampled uniformly from
+  [1, 100] µs, functionally equivalent to packet arrival bursts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class PoissonArrivals:
+    """Exponentially distributed inter-arrival times at a fixed rate."""
+
+    def __init__(
+        self,
+        rate_per_us: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rate_per_us <= 0:
+            raise ConfigError("arrival rate must be positive")
+        self.rate_per_us = rate_per_us
+        self._rng = rng if rng is not None else np.random.default_rng(1)
+
+    def next_interval_us(self) -> float:
+        return float(self._rng.exponential(1.0 / self.rate_per_us))
+
+    def sample_batch_us(self, count: int) -> np.ndarray:
+        """Arrival *times* (cumulative) for ``count`` packets."""
+        gaps = self._rng.exponential(1.0 / self.rate_per_us, size=count)
+        return np.cumsum(gaps)
+
+
+class BacklogController:
+    """Keeps each RX ring's backlog at a target depth ``D``.
+
+    ``refill(backlog)`` returns how many packets the generator must
+    inject right now so that the ring again holds at least ``D``
+    unconsumed packets (the paper's emulation of batching of degree D).
+    A target of zero degenerates to "one packet per service" closed-loop
+    operation.
+    """
+
+    def __init__(self, target_depth: int) -> None:
+        if target_depth < 0:
+            raise ConfigError("target backlog depth must be non-negative")
+        self.target_depth = target_depth
+
+    def refill(self, current_backlog: int) -> int:
+        if current_backlog < 0:
+            raise ConfigError("backlog cannot be negative")
+        deficit = max(self.target_depth, 1) - current_backlog
+        return max(deficit, 0)
+
+
+class SpikeSampler:
+    """Occasional long service delays (Figure 10's spiky workload)."""
+
+    def __init__(
+        self,
+        probability: float = 0.001,
+        low_us: float = 1.0,
+        high_us: float = 100.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigError("spike probability must be in [0, 1]")
+        if low_us > high_us or low_us < 0:
+            raise ConfigError("spike delay range is invalid")
+        self.probability = probability
+        self.low_us = low_us
+        self.high_us = high_us
+        self._rng = rng if rng is not None else np.random.default_rng(2)
+
+    def sample_extra_delay_us(self) -> float:
+        """Zero most of the time; uniform [low, high] µs on a spike."""
+        if float(self._rng.random()) >= self.probability:
+            return 0.0
+        return float(self._rng.uniform(self.low_us, self.high_us))
+
+    def mean_extra_delay_us(self) -> float:
+        return self.probability * 0.5 * (self.low_us + self.high_us)

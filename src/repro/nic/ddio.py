@@ -1,0 +1,130 @@
+"""Packet injection policies: DMA, DDIO, and ideal-DDIO (§III baselines).
+
+A policy decides what happens, cache- and memory-wise, when the NIC
+writes an incoming packet block (RX path) or reads an outgoing one
+(TX path), and whether CPU accesses to network buffers touch the real
+hierarchy at all:
+
+* **DMA** — conventional I/O. RX writes go to DRAM, invalidating any
+  cached copies; TX reads flush dirty cached data and read from DRAM.
+* **DDIO** — RX writes allocate directly in the LLC's DDIO ways; TX
+  reads are serviced by the caches when possible and never allocate.
+* **ideal-DDIO** — the paper's unrealistic upper bound: an infinite
+  side cache holds all network buffers. Neither NIC nor CPU buffer
+  accesses touch the hierarchy or memory; CPU accesses complete at LLC
+  latency.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.cache.hierarchy import AccessLevel, CacheHierarchy
+from repro.errors import ConfigError
+from repro.mem.layout import RegionKind
+from repro.traffic import MemCategory
+
+
+class InjectionPolicy(abc.ABC):
+    """Strategy object for NIC-side data movement."""
+
+    #: short name used in experiment labels ("DMA", "DDIO 2 Ways", ...)
+    name: str
+
+    @abc.abstractmethod
+    def rx_write(self, hier: CacheHierarchy, core: int, block: int) -> None:
+        """NIC writes one incoming block destined for ``core``'s ring."""
+
+    @abc.abstractmethod
+    def tx_read(self, hier: CacheHierarchy, core: int, block: int) -> None:
+        """NIC reads one outgoing block posted by ``core``."""
+
+    def cpu_buffer_level(self, kind: RegionKind) -> Optional[AccessLevel]:
+        """Fixed service level for CPU buffer accesses, or None.
+
+        Non-None means the policy intercepts CPU accesses to network
+        buffers (ideal-DDIO's side cache); None means they go through the
+        real hierarchy.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class DmaPolicy(InjectionPolicy):
+    """Conventional DMA through DRAM, bypassing the cache hierarchy."""
+
+    name = "DMA"
+
+    def rx_write(self, hier: CacheHierarchy, core: int, block: int) -> None:
+        # The full-line NIC write supersedes any cached data; stale copies
+        # are invalidated without writeback and the packet lands in DRAM.
+        hier.invalidate_block(core, block, discard_dirty=True)
+        hier.traffic.record(MemCategory.NIC_RX_WR)
+
+    def tx_read(self, hier: CacheHierarchy, core: int, block: int) -> None:
+        # The CPU-produced data must be visible in DRAM before the device
+        # reads it: dirty copies are flushed (a TX writeback), then the
+        # NIC reads from memory.
+        hier.invalidate_block(core, block, discard_dirty=False)
+        hier.traffic.record(MemCategory.NIC_TX_RD)
+
+
+class DdioPolicy(InjectionPolicy):
+    """Direct Cache Access into a configurable number of LLC ways."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ConfigError("DDIO needs at least one LLC way")
+        self.ways = ways
+        self.name = f"DDIO {ways} Ways"
+
+    def bind(self, hier: CacheHierarchy) -> None:
+        """Point the hierarchy's DDIO way mask at this policy's ways."""
+        if self.ways > hier.llc.ways:
+            raise ConfigError(
+                f"DDIO ways {self.ways} exceed LLC associativity {hier.llc.ways}"
+            )
+        hier.set_ddio_way_mask(range(self.ways))
+
+    def rx_write(self, hier: CacheHierarchy, core: int, block: int) -> None:
+        hier.nic_llc_write(core, block, kind=RegionKind.RX_BUFFER)
+
+    def tx_read(self, hier: CacheHierarchy, core: int, block: int) -> None:
+        hier.nic_probe_read(core, block)
+
+
+class IdealDdioPolicy(InjectionPolicy):
+    """Infinite side LLC for network buffers; zero memory traffic."""
+
+    name = "Ideal DDIO"
+
+    def rx_write(self, hier: CacheHierarchy, core: int, block: int) -> None:
+        # Buffers live entirely in the side structure; nothing to do.
+        return None
+
+    def tx_read(self, hier: CacheHierarchy, core: int, block: int) -> None:
+        return None
+
+    def cpu_buffer_level(self, kind: RegionKind) -> Optional[AccessLevel]:
+        if kind in (RegionKind.RX_BUFFER, RegionKind.TX_BUFFER):
+            return AccessLevel.LLC
+        return None
+
+
+def make_policy(spec: str, ddio_ways: int = 2) -> InjectionPolicy:
+    """Build a policy from a short spec string.
+
+    Accepted specs: ``"dma"``, ``"ddio"`` (uses ``ddio_ways``), and
+    ``"ideal"``.
+    """
+    spec = spec.lower()
+    if spec == "dma":
+        return DmaPolicy()
+    if spec == "ddio":
+        return DdioPolicy(ddio_ways)
+    if spec == "ideal":
+        return IdealDdioPolicy()
+    raise ConfigError(f"unknown injection policy spec: {spec!r}")

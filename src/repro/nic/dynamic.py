@@ -1,0 +1,117 @@
+"""Dynamic DDIO way reallocation — an IAT-style baseline (§VII).
+
+The paper positions Sweeper against techniques that *dynamically resize*
+the LLC share available to DDIO (IAT [58]): they delay the onset of
+network data leaks by throwing capacity at the problem rather than
+removing the wasteful writebacks. This module implements such a
+controller so benchmarks can compare all three designs head to head:
+
+* static DDIO (the paper's baseline),
+* dynamic way reallocation (this controller),
+* Sweeper (the paper's contribution).
+
+The controller observes each epoch's RX-buffer eviction rate and the
+collateral damage to application data, then grows or shrinks the DDIO
+way mask between configured bounds — a deliberately simple additive-
+increase/additive-decrease policy in the spirit of IAT's feedback loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.errors import ConfigError
+from repro.traffic import MemCategory, TrafficCounter
+
+
+@dataclass
+class DynamicWaysConfig:
+    """Bounds and thresholds for the way-reallocation feedback loop."""
+
+    min_ways: int = 2
+    max_ways: int = 8
+    epoch_requests: int = 512
+    #: grow when RX evictions per packet exceed this fraction of packet blocks
+    grow_threshold: float = 0.25
+    #: shrink when RX evictions per packet fall below this fraction
+    shrink_threshold: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_ways <= self.max_ways:
+            raise ConfigError("need 1 <= min_ways <= max_ways")
+        if self.epoch_requests <= 0:
+            raise ConfigError("epoch_requests must be positive")
+        if self.shrink_threshold >= self.grow_threshold:
+            raise ConfigError("shrink threshold must be below grow threshold")
+
+
+class DynamicDdioController:
+    """Feedback controller over the hierarchy's DDIO way mask."""
+
+    def __init__(
+        self,
+        hier: CacheHierarchy,
+        config: DynamicWaysConfig,
+        packet_blocks: int,
+    ) -> None:
+        if config.max_ways > hier.llc.ways:
+            raise ConfigError("max_ways exceeds LLC associativity")
+        if packet_blocks <= 0:
+            raise ConfigError("packet_blocks must be positive")
+        self.hier = hier
+        self.config = config
+        self.packet_blocks = packet_blocks
+        self.ways = max(len(hier.ddio_way_mask), config.min_ways)
+        self.ways = min(self.ways, config.max_ways)
+        hier.set_ddio_way_mask(range(self.ways))
+        self.adjustments: List[int] = []
+
+    def observe_epoch(self, window: TrafficCounter, requests: int) -> int:
+        """Consume one epoch's traffic; returns the new way count."""
+        if requests <= 0:
+            raise ConfigError("epoch must contain requests")
+        rx_evct_per_block = window.get(MemCategory.RX_EVCT) / (
+            requests * self.packet_blocks
+        )
+        if (
+            rx_evct_per_block > self.config.grow_threshold
+            and self.ways < self.config.max_ways
+        ):
+            self.ways += 1
+        elif (
+            rx_evct_per_block < self.config.shrink_threshold
+            and self.ways > self.config.min_ways
+        ):
+            self.ways -= 1
+        self.hier.set_ddio_way_mask(range(self.ways))
+        self.adjustments.append(self.ways)
+        return self.ways
+
+
+@dataclass
+class DynamicTraceHook:
+    """Drives a controller from a running trace simulation.
+
+    Attach via :meth:`tick` once per serviced request; the hook snapshots
+    the hierarchy's traffic counter at epoch boundaries and feeds the
+    delta to the controller.
+    """
+
+    controller: DynamicDdioController
+    _requests_in_epoch: int = 0
+    _snapshot: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._snapshot = self.controller.hier.traffic.snapshot()
+
+    def tick(self) -> None:
+        self._requests_in_epoch += 1
+        if self._requests_in_epoch < self.controller.config.epoch_requests:
+            return
+        traffic = self.controller.hier.traffic
+        window = traffic.diff(self._snapshot)
+        self.controller.observe_epoch(window, self._requests_in_epoch)
+        self._snapshot = traffic.snapshot()
+        self._requests_in_epoch = 0

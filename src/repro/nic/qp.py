@@ -1,0 +1,134 @@
+"""Scale-Out-NUMA-style Queue Pairs and the NIC execution engine.
+
+The paper's transport uses memory-mapped Queue Pairs similar to RDMA: the
+CPU schedules a transmission by appending a Work Queue entry; the NIC
+reads the referenced buffer and posts a Completion Queue entry.
+
+Sweeper's TX-path extension (§V-D, Figure 4) adds one boolean field to
+the Work Queue entry — ``sweep_buffer``. When set, the NIC injects sweep
+messages for the buffer's cache blocks after the transmission completes
+and before the buffer is released, so zero-copy NFs (which are the last
+*NIC*, not CPU, users of the buffer) also avoid wasteful writebacks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Sequence
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.errors import ProtocolError
+from repro.nic.ddio import InjectionPolicy
+
+
+@dataclass(frozen=True)
+class WorkQueueEntry:
+    """One transmit descriptor written by the CPU (Figure 4 layout)."""
+
+    dest_node: int
+    qp_id: int
+    op: str
+    transfer_blocks: Sequence[int]
+    sweep_buffer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.transfer_blocks:
+            raise ProtocolError("work queue entry references an empty buffer")
+
+    @property
+    def transfer_length(self) -> int:
+        return len(self.transfer_blocks) * 64
+
+
+@dataclass(frozen=True)
+class CompletionQueueEntry:
+    """NIC's completion notification for one Work Queue entry."""
+
+    qp_id: int
+    op: str
+    transfer_length: int
+    swept: bool
+
+
+@dataclass
+class QueuePair:
+    """A memory-mapped WQ/CQ pair owned by one core."""
+
+    qp_id: int
+    core: int
+    wq: Deque[WorkQueueEntry] = field(default_factory=deque)
+    cq: Deque[CompletionQueueEntry] = field(default_factory=deque)
+
+    def post_send(
+        self,
+        transfer_blocks: Sequence[int],
+        dest_node: int = 0,
+        op: str = "send",
+        sweep_buffer: bool = False,
+    ) -> WorkQueueEntry:
+        entry = WorkQueueEntry(
+            dest_node=dest_node,
+            qp_id=self.qp_id,
+            op=op,
+            transfer_blocks=tuple(transfer_blocks),
+            sweep_buffer=sweep_buffer,
+        )
+        self.wq.append(entry)
+        return entry
+
+    def poll_completion(self) -> Optional[CompletionQueueEntry]:
+        if not self.cq:
+            return None
+        return self.cq.popleft()
+
+
+class NicEngine:
+    """Executes Work Queue entries against the cache hierarchy.
+
+    This is the TX half of the NIC; the RX half is driven by the traffic
+    generator (the NIC writes arriving packets straight into ring slots
+    via the injection policy).
+    """
+
+    def __init__(self, hier: CacheHierarchy, policy: InjectionPolicy) -> None:
+        self.hier = hier
+        self.policy = policy
+        self.transmissions = 0
+        self.nic_sweeps = 0
+
+    def process(self, qp: QueuePair) -> int:
+        """Drain the QP's work queue; returns entries processed."""
+        processed = 0
+        while qp.wq:
+            entry = qp.wq.popleft()
+            self._transmit(qp, entry)
+            processed += 1
+        return processed
+
+    def process_one(self, qp: QueuePair) -> bool:
+        """Execute at most one work queue entry; True if one existed."""
+        if not qp.wq:
+            return False
+        self._transmit(qp, qp.wq.popleft())
+        return True
+
+    def _transmit(self, qp: QueuePair, entry: WorkQueueEntry) -> None:
+        for block in entry.transfer_blocks:
+            self.policy.tx_read(self.hier, qp.core, block)
+        swept = False
+        if entry.sweep_buffer:
+            # NIC-driven buffer cleaning: once the payload is on the wire
+            # the buffer is dead; sweep it before releasing it for reuse.
+            for block in entry.transfer_blocks:
+                self.nic_sweeps += self.hier.sweep_block(qp.core, block)
+            swept = True
+        self.transmissions += 1
+        qp.cq.append(
+            CompletionQueueEntry(
+                qp_id=qp.qp_id,
+                op=entry.op,
+                transfer_length=entry.transfer_length,
+                swept=swept,
+            )
+        )

@@ -1,0 +1,155 @@
+"""Per-core RX/TX descriptor rings.
+
+Each core owns one RX ring of ``num_entries`` packet buffers and one TX
+ring, matching the paper's per-core provisioning (§II-C, Appendix). Ring
+slots map to contiguous block spans inside a region allocated from the
+simulation :class:`~repro.mem.layout.AddressSpace`.
+
+The RX ring tracks the NIC write pointer (``head``) and the CPU consume
+pointer (``tail``). Overflow — an arrival finding ``backlog ==
+num_entries`` — is a packet drop, the quantity Figure 10b reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.mem.layout import AddressSpace, Region, RegionKind
+from repro.params import CACHE_BLOCK_BYTES
+
+
+class _Ring:
+    """Common geometry for RX and TX rings."""
+
+    def __init__(
+        self,
+        core: int,
+        region: Region,
+        num_entries: int,
+        blocks_per_packet: int,
+    ) -> None:
+        needed = num_entries * blocks_per_packet
+        if region.num_blocks < needed:
+            raise ProtocolError(
+                f"region {region.name} holds {region.num_blocks} blocks, "
+                f"ring needs {needed}"
+            )
+        self.core = core
+        self.region = region
+        self.num_entries = num_entries
+        self.blocks_per_packet = blocks_per_packet
+        self._base_block = region.start_block
+
+    def slot_blocks(self, slot: int) -> range:
+        """Block addresses of one ring slot (one packet buffer)."""
+        index = slot % self.num_entries
+        start = self._base_block + index * self.blocks_per_packet
+        return range(start, start + self.blocks_per_packet)
+
+    def slot_address(self, slot: int) -> int:
+        """Byte address of a slot's buffer (the relinquish argument)."""
+        return self.slot_blocks(slot).start * CACHE_BLOCK_BYTES
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.num_entries * self.blocks_per_packet * CACHE_BLOCK_BYTES
+
+
+class RxRing(_Ring):
+    """Receive ring: NIC produces at ``head``, CPU consumes at ``tail``."""
+
+    def __init__(
+        self,
+        core: int,
+        region: Region,
+        num_entries: int,
+        blocks_per_packet: int,
+    ) -> None:
+        super().__init__(core, region, num_entries, blocks_per_packet)
+        self.head = 0
+        self.tail = 0
+        self.drops = 0
+        self.posted = 0
+
+    @property
+    def backlog(self) -> int:
+        """Packets written by the NIC but not yet consumed."""
+        return self.head - self.tail
+
+    @property
+    def free_entries(self) -> int:
+        return self.num_entries - self.backlog
+
+    def post(self) -> Optional[int]:
+        """NIC delivers one packet; returns its slot, or None on drop."""
+        if self.backlog >= self.num_entries:
+            self.drops += 1
+            return None
+        slot = self.head
+        self.head += 1
+        self.posted += 1
+        return slot
+
+    def consume(self) -> int:
+        """CPU picks up the oldest unconsumed packet; returns its slot."""
+        if self.backlog <= 0:
+            raise ProtocolError(f"core {self.core}: consume on empty RX ring")
+        slot = self.tail
+        self.tail += 1
+        return slot
+
+    def drop_rate(self) -> float:
+        attempts = self.posted + self.drops
+        if attempts == 0:
+            return 0.0
+        return self.drops / attempts
+
+
+class TxRing(_Ring):
+    """Transmit ring: CPU produces, NIC consumes; cycles round-robin."""
+
+    def __init__(
+        self,
+        core: int,
+        region: Region,
+        num_entries: int,
+        blocks_per_packet: int,
+    ) -> None:
+        super().__init__(core, region, num_entries, blocks_per_packet)
+        self._next = 0
+
+    def acquire(self) -> int:
+        """Next TX slot for the CPU to fill (buffers recycle in order)."""
+        slot = self._next
+        self._next += 1
+        return slot
+
+
+def build_rings(
+    space: AddressSpace,
+    num_cores: int,
+    rx_entries: int,
+    tx_entries: int,
+    blocks_per_packet: int,
+) -> "tuple[List[RxRing], List[TxRing]]":
+    """Allocate RX/TX regions for every core and wrap them in rings."""
+    rx_rings: List[RxRing] = []
+    tx_rings: List[TxRing] = []
+    packet_bytes = blocks_per_packet * CACHE_BLOCK_BYTES
+    for core in range(num_cores):
+        rx_region = space.allocate(
+            f"rx_ring[{core}]",
+            rx_entries * packet_bytes,
+            RegionKind.RX_BUFFER,
+            owner_core=core,
+        )
+        tx_region = space.allocate(
+            f"tx_ring[{core}]",
+            tx_entries * packet_bytes,
+            RegionKind.TX_BUFFER,
+            owner_core=core,
+        )
+        rx_rings.append(RxRing(core, rx_region, rx_entries, blocks_per_packet))
+        tx_rings.append(TxRing(core, tx_region, tx_entries, blocks_per_packet))
+    return rx_rings, tx_rings

@@ -1,0 +1,258 @@
+"""System configuration mirroring Table I of the Sweeper paper.
+
+The defaults model the paper's simulated server: a 24-core Ice-Lake-class
+CPU at 3.2 GHz with private L1/L2 caches, a shared non-inclusive 36 MB
+12-way LLC operating as a victim cache for L2 evictions, and 3-8 channels
+of DDR4-3200 memory.
+
+Every size is expressed in bytes and every latency in CPU cycles unless
+noted otherwise. ``SystemConfig.scaled`` shrinks the machine while
+preserving the capacity ratios (buffer footprint vs. LLC capacity,
+bandwidth per core) that drive all of the paper's results, so tests and
+quick benchmark runs stay fast without changing any qualitative outcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+CACHE_BLOCK_BYTES = 64
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry, access latency, and replacement of one cache level.
+
+    ``replacement`` is ``"lru"`` (private caches) or ``"random"``. The
+    shared LLC defaults to random: commercial LLCs use hashed indexing
+    and pseudo-LRU approximations whose behaviour under a thrashing
+    ring-buffer scan is probabilistic, which is what lets extra DDIO
+    ways retain a proportional fraction of the ring (Figure 5's
+    gradual improvement) instead of LRU's all-or-nothing cliff.
+    """
+
+    size_bytes: int
+    ways: int
+    latency_cycles: int
+    block_bytes: int = CACHE_BLOCK_BYTES
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0:
+            raise ConfigError("cache size and associativity must be positive")
+        if self.size_bytes % (self.ways * self.block_bytes) != 0:
+            raise ConfigError(
+                f"cache size {self.size_bytes} is not divisible into "
+                f"{self.ways} ways of {self.block_bytes}B blocks"
+            )
+        if self.replacement not in ("lru", "random"):
+            raise ConfigError(
+                f"unknown replacement policy: {self.replacement!r}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.block_bytes)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_bytes
+
+    def with_sets(self, num_sets: int) -> "CacheParams":
+        """Return a copy resized to ``num_sets`` sets (same ways/latency)."""
+        return dataclasses.replace(
+            self, size_bytes=num_sets * self.ways * self.block_bytes
+        )
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """Core count, frequency, and the analytic service-time knobs.
+
+    ``mlp_llc`` and ``mlp_mem`` are memory-level-parallelism divisors: the
+    effective critical-path cost of an access serviced at that level is
+    ``latency / mlp``. They stand in for the out-of-order window of the
+    paper's zSim cores (352-entry ROB, 5-wide) without simulating it.
+
+    ``llc_load_coupling`` couples LLC-hit latency to DRAM queueing: the
+    LLC's fill and writeback machinery shares queues with the memory
+    controllers, so a bandwidth-saturated memory system slows even
+    LLC-resident traffic. This is what makes an LLC-hit-heavy tenant
+    (the §VI-E L3 forwarder) feel consumed-buffer-eviction pressure.
+    """
+
+    num_cores: int = 24
+    freq_ghz: float = 3.2
+    mlp_l2: float = 2.0
+    mlp_llc: float = 6.0
+    mlp_mem: float = 12.0
+    llc_load_coupling: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ConfigError("num_cores must be positive")
+        if self.freq_ghz <= 0:
+            raise ConfigError("freq_ghz must be positive")
+
+    @property
+    def cycles_per_us(self) -> float:
+        return self.freq_ghz * 1000.0
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """DDR4 channel provisioning and the load-latency curve parameters.
+
+    A DDR4-3200 channel peaks at 25.6 GB/s; random server traffic achieves
+    only a fraction of that before bank conflicts and turnarounds saturate
+    the channel, captured by ``efficiency``. ``idle_latency_cycles`` is the
+    unloaded LLC-miss-to-data latency; queueing delay grows hyperbolically
+    as utilization approaches ``efficiency`` (see ``repro.mem.dram``).
+    """
+
+    num_channels: int = 4
+    channel_peak_gbps: float = 25.6
+    efficiency: float = 0.60
+    idle_latency_cycles: int = 170
+    queue_scale_cycles: float = 60.0
+    ranks_per_channel: int = 4
+    banks_per_rank: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ConfigError("num_channels must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigError("efficiency must be in (0, 1]")
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate raw pin bandwidth across all channels (GB/s)."""
+        return self.num_channels * self.channel_peak_gbps
+
+    @property
+    def usable_bandwidth_gbps(self) -> float:
+        """Sustainable bandwidth for random traffic (GB/s)."""
+        return self.peak_bandwidth_gbps * self.efficiency
+
+
+@dataclass(frozen=True)
+class NicParams:
+    """NIC/network-stack provisioning (Scale-Out-NUMA-style endpoint)."""
+
+    rx_buffers_per_core: int = 1024
+    tx_buffers_per_core: int = 64
+    packet_bytes: int = 1024
+    ddio_ways: int = 2
+    noc_latency_cycles: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rx_buffers_per_core <= 0 or self.tx_buffers_per_core <= 0:
+            raise ConfigError("ring sizes must be positive")
+        if self.packet_bytes <= 0:
+            raise ConfigError("packet_bytes must be positive")
+        if self.ddio_ways < 0:
+            raise ConfigError("ddio_ways must be non-negative")
+
+    @property
+    def blocks_per_packet(self) -> int:
+        return (self.packet_bytes + CACHE_BLOCK_BYTES - 1) // CACHE_BLOCK_BYTES
+
+    @property
+    def rx_footprint_bytes_per_core(self) -> int:
+        return self.rx_buffers_per_core * self.blocks_per_packet * CACHE_BLOCK_BYTES
+
+
+def _default_l1() -> CacheParams:
+    return CacheParams(size_bytes=48 * KiB, ways=12, latency_cycles=4)
+
+
+def _default_l2() -> CacheParams:
+    return CacheParams(size_bytes=1280 * KiB, ways=20, latency_cycles=14)
+
+
+def _default_llc() -> CacheParams:
+    return CacheParams(
+        size_bytes=36 * MiB, ways=12, latency_cycles=35, replacement="random"
+    )
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete simulated-server configuration (Table I defaults)."""
+
+    cpu: CpuParams = field(default_factory=CpuParams)
+    l1: CacheParams = field(default_factory=_default_l1)
+    l2: CacheParams = field(default_factory=_default_l2)
+    llc: CacheParams = field(default_factory=_default_llc)
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    nic: NicParams = field(default_factory=NicParams)
+
+    def __post_init__(self) -> None:
+        if self.nic.ddio_ways > self.llc.ways:
+            raise ConfigError(
+                f"ddio_ways={self.nic.ddio_ways} exceeds LLC ways={self.llc.ways}"
+            )
+        blocks = {self.l1.block_bytes, self.l2.block_bytes, self.llc.block_bytes}
+        if len(blocks) != 1:
+            raise ConfigError("all cache levels must share one block size")
+
+    @property
+    def block_bytes(self) -> int:
+        return self.llc.block_bytes
+
+    @property
+    def ddio_capacity_bytes(self) -> int:
+        """LLC capacity reachable by NIC write-allocations."""
+        return self.llc.num_sets * self.nic.ddio_ways * self.block_bytes
+
+    @property
+    def total_rx_footprint_bytes(self) -> int:
+        return self.cpu.num_cores * self.nic.rx_footprint_bytes_per_core
+
+    def replace(self, **kwargs) -> "SystemConfig":
+        """Return a copy with top-level fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def with_nic(self, **kwargs) -> "SystemConfig":
+        return self.replace(nic=dataclasses.replace(self.nic, **kwargs))
+
+    def with_memory(self, **kwargs) -> "SystemConfig":
+        return self.replace(memory=dataclasses.replace(self.memory, **kwargs))
+
+    def with_cpu(self, **kwargs) -> "SystemConfig":
+        return self.replace(cpu=dataclasses.replace(self.cpu, **kwargs))
+
+    def scaled(self, factor: float) -> "SystemConfig":
+        """Shrink the machine by ``factor`` while preserving ratios.
+
+        Cores, LLC sets, and memory channels' aggregate bandwidth scale
+        together, so buffer-footprint/LLC-capacity and bandwidth-per-core
+        ratios — the quantities all figures depend on — are unchanged.
+        Private L1/L2 geometry is untouched (per-core footprints do not
+        scale with the machine). ``factor`` must be in (0, 1].
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ConfigError("scale factor must be in (0, 1]")
+        if factor == 1.0:
+            return self
+        cores = max(1, round(self.cpu.num_cores * factor))
+        real_factor = cores / self.cpu.num_cores
+        llc_sets = max(self.llc.ways, round(self.llc.num_sets * real_factor))
+        bw_per_channel = self.memory.channel_peak_gbps * real_factor
+        return dataclasses.replace(
+            self,
+            cpu=dataclasses.replace(self.cpu, num_cores=cores),
+            llc=self.llc.with_sets(llc_sets),
+            memory=dataclasses.replace(
+                self.memory, channel_peak_gbps=bw_per_channel
+            ),
+        )
+
+
+#: The paper's Table I machine.
+TABLE1 = SystemConfig()

@@ -1,0 +1,5 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+from repro.report.tables import Table, format_breakdown, render_table1
+
+__all__ = ["Table", "format_breakdown", "render_table1"]

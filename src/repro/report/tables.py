@@ -1,0 +1,117 @@
+"""ASCII tables for experiment output.
+
+Every benchmark prints the rows/series the corresponding paper figure
+reports, via these helpers, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.params import SystemConfig
+from repro.traffic import MemCategory
+
+
+class Table:
+    """Minimal fixed-width table builder."""
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None) -> None:
+        if not columns:
+            raise ConfigError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_breakdown(
+    breakdown: Dict[MemCategory, float], threshold: float = 0.005
+) -> str:
+    """One-line rendering of a per-request memory-access breakdown."""
+    parts = [
+        f"{cat.label}={value:.2f}"
+        for cat, value in breakdown.items()
+        if value >= threshold
+    ]
+    return "  ".join(parts) if parts else "(no memory traffic)"
+
+
+def render_table1(system: SystemConfig) -> str:
+    """Render the simulated system parameters (the paper's Table I)."""
+    t = Table(["Component", "Configuration"], title="Table I: simulated system")
+    cpu = system.cpu
+    t.add_row(
+        "CPU",
+        f"{cpu.num_cores} x86-64 cores, {cpu.freq_ghz:.1f} GHz, OoO "
+        f"(MLP L2/LLC/mem = {cpu.mlp_l2:.0f}/{cpu.mlp_llc:.0f}/{cpu.mlp_mem:.0f})",
+    )
+    t.add_row(
+        "L1 caches",
+        f"{system.l1.size_bytes // 1024} KB {system.l1.ways}-way, "
+        f"{system.l1.block_bytes} B blocks, {system.l1.latency_cycles}-cycle",
+    )
+    t.add_row(
+        "L2 caches",
+        f"{system.l2.size_bytes / 2**20:.2f} MB {system.l2.ways}-way, "
+        f"{system.l2.latency_cycles}-cycle",
+    )
+    t.add_row(
+        "LLC",
+        f"shared non-inclusive victim, {system.llc.size_bytes / 2**20:.0f} MB "
+        f"{system.llc.ways}-way, {system.llc.latency_cycles}-cycle, "
+        f"{system.llc.replacement} replacement",
+    )
+    t.add_row("NoC", f"crossbar, {system.nic.noc_latency_cycles}-cycle latency")
+    mem = system.memory
+    t.add_row(
+        "Memory",
+        f"DDR4-3200, {mem.num_channels} channels x {mem.channel_peak_gbps:.1f} GB/s, "
+        f"{mem.ranks_per_channel} ranks/channel, {mem.banks_per_rank} banks/rank, "
+        f"{mem.efficiency:.0%} random-access efficiency",
+    )
+    t.add_row(
+        "NIC",
+        f"integrated, DDIO over {system.nic.ddio_ways} LLC ways, "
+        f"{system.nic.rx_buffers_per_core} RX buffers/core, "
+        f"{system.nic.packet_bytes} B packets",
+    )
+    return t.render()
+
+
+def series_to_lines(
+    name: str, xs: Iterable[object], ys: Iterable[float]
+) -> List[str]:
+    """Render an (x, y) series for figure-style output."""
+    return [f"{name}: " + "  ".join(f"{x}={y:.2f}" for x, y in zip(xs, ys))]

@@ -1,0 +1,14 @@
+"""Userspace network stack model (DPDK-style) with Sweeper integration."""
+
+from repro.stack.mbuf import Mbuf, MbufState
+from repro.stack.mempool import Mempool
+from repro.stack.dataplane import Dataplane, DataplaneConfig, RxBurst
+
+__all__ = [
+    "Dataplane",
+    "DataplaneConfig",
+    "Mbuf",
+    "MbufState",
+    "Mempool",
+    "RxBurst",
+]

@@ -1,0 +1,216 @@
+"""A DPDK-style per-core dataplane wired to the simulated hardware.
+
+This is the "networking library" of §V-A: it owns a mempool of receive
+buffers, exposes ``rx_burst``/``reply``/``recycle`` to the application,
+and places the ``relinquish`` call exactly where the paper prescribes —
+after the application's last read, before the buffer is recycled for NIC
+reuse. With Sweeper disabled it degrades to a plain DDIO dataplane whose
+consumed buffers leak to memory.
+
+The dataplane drives the same :class:`~repro.cache.hierarchy`
+/ injection-policy / QP substrate as the trace engine, so stack-level
+experiments and engine-level experiments measure identical hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.api import Sweeper
+from repro.errors import ConfigError, ProtocolError
+from repro.mem.layout import AddressSpace, RegionKind
+from repro.nic.ddio import DdioPolicy, InjectionPolicy, make_policy
+from repro.nic.qp import NicEngine, QueuePair
+from repro.params import CACHE_BLOCK_BYTES, SystemConfig
+from repro.stack.mbuf import Mbuf, MbufStats
+from repro.stack.mempool import Mempool
+
+
+@dataclass(frozen=True)
+class DataplaneConfig:
+    """Stack-level knobs for one dataplane core."""
+
+    burst_size: int = 32
+    pool_capacity: int = 1024
+    packet_bytes: int = 1024
+    tx_entries: int = 64
+    sweeper_enabled: bool = True
+    policy: str = "ddio"
+
+    def __post_init__(self) -> None:
+        if self.burst_size <= 0:
+            raise ConfigError("burst_size must be positive")
+        if self.pool_capacity <= 0:
+            raise ConfigError("pool_capacity must be positive")
+        if self.packet_bytes <= 0:
+            raise ConfigError("packet_bytes must be positive")
+
+
+@dataclass
+class RxBurst:
+    """Result of one rx_burst call."""
+
+    mbufs: List[Mbuf] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.mbufs)
+
+    def __iter__(self):
+        return iter(self.mbufs)
+
+
+class Dataplane:
+    """One core's receive/process/transmit loop over the simulated HW."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        config: DataplaneConfig,
+        core: int = 0,
+        hier: Optional[CacheHierarchy] = None,
+        space: Optional[AddressSpace] = None,
+        policy: Optional[InjectionPolicy] = None,
+    ) -> None:
+        self.system = system
+        self.config = config
+        self.core = core
+        self.space = space if space is not None else AddressSpace()
+        self.hier = hier if hier is not None else CacheHierarchy(system)
+        self.policy = (
+            policy
+            if policy is not None
+            else make_policy(config.policy, system.nic.ddio_ways)
+        )
+        if isinstance(self.policy, DdioPolicy):
+            self.policy.bind(self.hier)
+        self.pool = Mempool(
+            self.space,
+            f"dataplane_pool[{core}]",
+            config.pool_capacity,
+            config.packet_bytes,
+            owner_core=core,
+        )
+        self._tx_region = self.space.allocate(
+            f"dataplane_tx[{core}]",
+            config.tx_entries * config.packet_bytes,
+            RegionKind.TX_BUFFER,
+            owner_core=core,
+        )
+        self._tx_next = 0
+        self.sweeper = Sweeper(self.hier, enabled=config.sweeper_enabled)
+        self.qp = QueuePair(qp_id=core, core=core)
+        self.nic = NicEngine(self.hier, self.policy)
+        self._rx_queue: List[Mbuf] = []
+        self.stats = MbufStats()
+        self.drops = 0
+
+    # ------------------------------------------------------------------
+    # NIC side (driven by a traffic generator)
+    # ------------------------------------------------------------------
+
+    def nic_receive(self, count: int, packet_bytes: Optional[int] = None) -> int:
+        """Deliver ``count`` packets; returns how many were dropped.
+
+        Each delivery allocates an mbuf from the pool and write-allocates
+        its blocks via the injection policy, exactly as the NIC would.
+        Pool exhaustion is a drop.
+        """
+        length = packet_bytes if packet_bytes is not None else (
+            self.config.packet_bytes
+        )
+        dropped = 0
+        for _ in range(count):
+            mbuf = self.pool.alloc()
+            if mbuf is None:
+                dropped += 1
+                continue
+            mbuf.give_to_nic()
+            blocks_used = -(-length // CACHE_BLOCK_BYTES)
+            for block in list(mbuf.blocks)[:blocks_used]:
+                self.policy.rx_write(self.hier, self.core, block)
+            mbuf.nic_deliver(length)
+            self._rx_queue.append(mbuf)
+            self.stats.delivered += 1
+        self.drops += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # application side
+    # ------------------------------------------------------------------
+
+    def rx_burst(self, max_packets: Optional[int] = None) -> RxBurst:
+        """Pick up to ``burst_size`` delivered packets (DPDK rx_burst)."""
+        limit = max_packets if max_packets is not None else self.config.burst_size
+        if limit <= 0:
+            raise ConfigError("burst limit must be positive")
+        taken = self._rx_queue[:limit]
+        self._rx_queue = self._rx_queue[limit:]
+        return RxBurst(mbufs=taken)
+
+    def read_packet(self, mbuf: Mbuf) -> int:
+        """Application reads the packet payload; returns blocks touched."""
+        blocks = mbuf.app_read()
+        for block in blocks:
+            self.hier.cpu_read(self.core, block, RegionKind.RX_BUFFER)
+        return len(blocks)
+
+    def reply(self, mbuf: Mbuf, response_bytes: int) -> None:
+        """Copy a response into a TX buffer and hand it to the NIC."""
+        if response_bytes <= 0:
+            raise ConfigError("response must be non-empty")
+        blocks_needed = -(-response_bytes // CACHE_BLOCK_BYTES)
+        slot = self._tx_next % self.config.tx_entries
+        self._tx_next += 1
+        start = self._tx_region.start_block + slot * (
+            self.config.packet_bytes // CACHE_BLOCK_BYTES
+        )
+        tx_blocks = range(start, start + blocks_needed)
+        for block in tx_blocks:
+            self.hier.cpu_write(self.core, block, RegionKind.TX_BUFFER)
+        self.qp.post_send(tx_blocks)
+        self.nic.process_one(self.qp)
+
+    def recycle(self, mbuf: Mbuf) -> None:
+        """Relinquish (Sweeper stacks) and return the buffer to the pool.
+
+        The library — not the application — owns the ordering guarantee:
+        relinquish always precedes recycling, so the NIC can never race a
+        pending sweep (§V-A).
+        """
+        if self.config.sweeper_enabled:
+            blocks = mbuf.relinquish()
+            self.sweeper.relinquish_blocks(self.core, blocks)
+            self.stats.relinquished += 1
+        try:
+            self.pool.free(mbuf, require_relinquish=self.config.sweeper_enabled)
+        except ProtocolError:
+            self.stats.lifecycle_errors += 1
+            raise
+        self.stats.recycled += 1
+
+    # ------------------------------------------------------------------
+    # convenience loop
+    # ------------------------------------------------------------------
+
+    def poll_once(self, arrivals: int, response_bytes: int = 64) -> int:
+        """One iteration of the canonical loop; returns packets handled."""
+        self.nic_receive(arrivals)
+        handled = 0
+        for mbuf in self.rx_burst():
+            self.read_packet(mbuf)
+            self.reply(mbuf, response_bytes)
+            self.recycle(mbuf)
+            handled += 1
+        return handled
+
+    def run(self, packets: int, response_bytes: int = 64) -> int:
+        """Process ``packets`` arrivals in bursts; returns handled count."""
+        handled = 0
+        remaining = packets
+        while remaining > 0 or self._rx_queue:
+            arrivals = min(self.config.burst_size, remaining)
+            remaining -= arrivals
+            handled += self.poll_once(arrivals, response_bytes)
+        return handled

@@ -1,0 +1,141 @@
+"""Packet buffer (mbuf) lifecycle with relinquish tracking.
+
+§V-A's correctness contract is a *lifecycle* rule: a buffer instance may
+be relinquished only after its last use, must be relinquished before the
+NIC recycles it, and must never be read afterwards. This module makes
+that lifecycle explicit and machine-checkable, the way a hardened
+networking library would enforce it in debug builds:
+
+    FREE -> NIC_OWNED -> (NIC writes) -> APP_OWNED -> (app reads)
+         -> RELINQUISHED -> FREE (recycled to the NIC)
+
+Violations raise :class:`~repro.errors.ProtocolError` — e.g. reading a
+relinquished buffer (the undefined behaviour the paper compares to
+use-after-free) or recycling a consumed buffer without relinquishing it
+first (the race §V-A warns about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.params import CACHE_BLOCK_BYTES
+
+
+class MbufState(Enum):
+    """Ownership/lifecycle state of one packet buffer."""
+
+    FREE = "free"
+    NIC_OWNED = "nic-owned"
+    APP_OWNED = "app-owned"
+    RELINQUISHED = "relinquished"
+
+
+@dataclass
+class Mbuf:
+    """One packet buffer: a block-aligned span plus lifecycle state."""
+
+    index: int
+    address: int
+    size: int
+    state: MbufState = MbufState.FREE
+    packet_length: int = 0
+    reads: int = 0
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address % CACHE_BLOCK_BYTES or self.size % CACHE_BLOCK_BYTES:
+            raise ProtocolError(f"mbuf {self.index} is not block-aligned")
+
+    @property
+    def blocks(self) -> range:
+        start = self.address // CACHE_BLOCK_BYTES
+        return range(start, start + self.size // CACHE_BLOCK_BYTES)
+
+    def _expect(self, state: MbufState, op: str) -> None:
+        if self.state is not state:
+            raise ProtocolError(
+                f"mbuf {self.index}: {op} in state {self.state.value} "
+                f"(expected {state.value})"
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle transitions
+    # ------------------------------------------------------------------
+
+    def give_to_nic(self) -> None:
+        """The stack posts the buffer as a receive descriptor."""
+        self._expect(MbufState.FREE, "give_to_nic")
+        self.state = MbufState.NIC_OWNED
+
+    def nic_deliver(self, packet_length: int) -> None:
+        """The NIC fully overwrites the buffer with an arrived packet."""
+        self._expect(MbufState.NIC_OWNED, "nic_deliver")
+        if not 0 < packet_length <= self.size:
+            raise ProtocolError(
+                f"mbuf {self.index}: packet of {packet_length} B does not "
+                f"fit buffer of {self.size} B"
+            )
+        self.state = MbufState.APP_OWNED
+        self.packet_length = packet_length
+        self.reads = 0
+        self.generation += 1
+
+    def app_read(self) -> range:
+        """The application reads the packet; returns its blocks.
+
+        Reading a relinquished buffer is the paper's undefined behaviour
+        and is rejected loudly here.
+        """
+        if self.state is MbufState.RELINQUISHED:
+            raise ProtocolError(
+                f"mbuf {self.index}: read after relinquish (undefined "
+                "behaviour, like use-after-free)"
+            )
+        self._expect(MbufState.APP_OWNED, "app_read")
+        self.reads += 1
+        blocks_used = -(-self.packet_length // CACHE_BLOCK_BYTES)
+        return range(self.blocks.start, self.blocks.start + blocks_used)
+
+    def relinquish(self) -> range:
+        """Declare the instance dead; contents are lost after this."""
+        self._expect(MbufState.APP_OWNED, "relinquish")
+        self.state = MbufState.RELINQUISHED
+        return self.blocks
+
+    def recycle(self, require_relinquish: bool) -> None:
+        """Return the buffer to the free pool for NIC reuse.
+
+        With ``require_relinquish`` (a Sweeper-enabled stack), recycling
+        a consumed-but-unrelinquished buffer is the §V-A race and is
+        rejected; without it (baseline stack), APP_OWNED buffers recycle
+        directly and their dirty blocks stay live in the caches.
+        """
+        if self.state is MbufState.RELINQUISHED:
+            self.state = MbufState.FREE
+            return
+        if self.state is MbufState.APP_OWNED:
+            if require_relinquish:
+                raise ProtocolError(
+                    f"mbuf {self.index}: recycled without relinquish "
+                    "(race with NIC reuse, §V-A)"
+                )
+            self.state = MbufState.FREE
+            return
+        raise ProtocolError(
+            f"mbuf {self.index}: recycle in state {self.state.value}"
+        )
+
+
+@dataclass
+class MbufStats:
+    """Aggregate lifecycle accounting for a pool."""
+
+    delivered: int = 0
+    relinquished: int = 0
+    recycled: int = 0
+    lifecycle_errors: int = 0
+    last_error: Optional[str] = field(default=None)

@@ -1,0 +1,89 @@
+"""Fixed-size packet buffer pool (DPDK mempool analogue).
+
+A mempool owns a contiguous region of the simulation address space,
+carved into equal block-aligned mbufs. The RX ring of a dataplane core
+draws its descriptors from here; pool exhaustion (every buffer in
+flight) is exactly the condition under which a real NIC starts dropping
+packets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import ConfigError, ProtocolError
+from repro.mem.layout import AddressSpace, Region, RegionKind
+from repro.params import CACHE_BLOCK_BYTES
+from repro.stack.mbuf import Mbuf, MbufState
+
+
+class Mempool:
+    """A pool of ``capacity`` equal-size packet buffers."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        name: str,
+        capacity: int,
+        buf_bytes: int,
+        owner_core: Optional[int] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigError("mempool capacity must be positive")
+        if buf_bytes <= 0 or buf_bytes % CACHE_BLOCK_BYTES:
+            raise ConfigError("buffer size must be a positive block multiple")
+        self.name = name
+        self.buf_bytes = buf_bytes
+        self.region: Region = space.allocate(
+            name, capacity * buf_bytes, RegionKind.RX_BUFFER,
+            owner_core=owner_core,
+        )
+        self._mbufs: List[Mbuf] = [
+            Mbuf(
+                index=i,
+                address=self.region.start + i * buf_bytes,
+                size=buf_bytes,
+            )
+            for i in range(capacity)
+        ]
+        self._free: Deque[int] = deque(range(capacity))
+
+    @property
+    def capacity(self) -> int:
+        return len(self._mbufs)
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_flight(self) -> int:
+        return self.capacity - self.available
+
+    def alloc(self) -> Optional[Mbuf]:
+        """Take a free buffer, or None when the pool is exhausted."""
+        if not self._free:
+            return None
+        mbuf = self._mbufs[self._free.popleft()]
+        if mbuf.state is not MbufState.FREE:
+            raise ProtocolError(
+                f"{self.name}: free list contained {mbuf.state.value} mbuf"
+            )
+        return mbuf
+
+    def free(self, mbuf: Mbuf, require_relinquish: bool = False) -> None:
+        """Recycle a buffer back into the pool."""
+        if self._mbufs[mbuf.index] is not mbuf:
+            raise ProtocolError(f"{self.name}: foreign mbuf {mbuf.index}")
+        mbuf.recycle(require_relinquish=require_relinquish)
+        self._free.append(mbuf.index)
+
+    def mbuf(self, index: int) -> Mbuf:
+        return self._mbufs[index]
+
+    def states(self) -> "dict[MbufState, int]":
+        out = {s: 0 for s in MbufState}
+        for m in self._mbufs:
+            out[m.state] += 1
+        return out

@@ -1,0 +1,146 @@
+"""Memory-traffic vocabulary shared by the cache, NIC, and engines.
+
+The paper's central measurement (Figures 1c, 2c, 5c, 7b) is a breakdown
+of memory accesses per request into eight categories. This module defines
+those categories and a counter class for accumulating them.
+
+Category semantics (all are *memory* accesses, i.e. DRAM traffic):
+
+* ``NIC_RX_WR``   — NIC writes incoming packets to DRAM (DMA mode only).
+* ``NIC_TX_RD``   — NIC reads outgoing packets from DRAM.
+* ``CPU_RX_RD``   — CPU demand-misses on an RX buffer (premature eviction).
+* ``CPU_TX_RDWR`` — CPU read-for-ownership misses on TX buffers.
+* ``CPU_OTHER_RD``— CPU demand-misses on application data.
+* ``RX_EVCT``     — dirty RX-buffer blocks written back on eviction
+  (consumed-buffer evictions, plus premature ones' writeback half).
+* ``TX_EVCT``     — dirty TX-buffer blocks written back on eviction.
+* ``OTHER_EVCT``  — dirty application data written back on eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, Iterable, Mapping
+
+from repro.errors import ConfigError
+from repro.mem.layout import RegionKind
+from repro.params import CACHE_BLOCK_BYTES
+
+
+class MemCategory(IntEnum):
+    """Attribution of one block-sized DRAM access."""
+
+    NIC_RX_WR = 0
+    NIC_TX_RD = 1
+    CPU_RX_RD = 2
+    CPU_TX_RDWR = 3
+    CPU_OTHER_RD = 4
+    RX_EVCT = 5
+    TX_EVCT = 6
+    OTHER_EVCT = 7
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+    @property
+    def is_read(self) -> bool:
+        return self in _READS
+
+
+_LABELS = {
+    MemCategory.NIC_RX_WR: "NIC RX Wr",
+    MemCategory.NIC_TX_RD: "NIC TX Rd",
+    MemCategory.CPU_RX_RD: "CPU RX Rd",
+    MemCategory.CPU_TX_RDWR: "CPU TX Rd/Wr",
+    MemCategory.CPU_OTHER_RD: "CPU Other Rd",
+    MemCategory.RX_EVCT: "RX Evct",
+    MemCategory.TX_EVCT: "TX Evct",
+    MemCategory.OTHER_EVCT: "Other Evct",
+}
+
+_READS = frozenset(
+    {
+        MemCategory.NIC_TX_RD,
+        MemCategory.CPU_RX_RD,
+        MemCategory.CPU_TX_RDWR,
+        MemCategory.CPU_OTHER_RD,
+    }
+)
+
+#: Eviction category for a dirty block of each region kind.
+EVICT_CATEGORY = {
+    RegionKind.RX_BUFFER: MemCategory.RX_EVCT,
+    RegionKind.TX_BUFFER: MemCategory.TX_EVCT,
+    RegionKind.APP: MemCategory.OTHER_EVCT,
+}
+
+#: Demand-read category for a CPU miss on each region kind.
+CPU_READ_CATEGORY = {
+    RegionKind.RX_BUFFER: MemCategory.CPU_RX_RD,
+    RegionKind.TX_BUFFER: MemCategory.CPU_TX_RDWR,
+    RegionKind.APP: MemCategory.CPU_OTHER_RD,
+}
+
+
+@dataclass
+class TrafficCounter:
+    """Accumulates block-granularity DRAM accesses by category."""
+
+    counts: Dict[MemCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in MemCategory}
+    )
+
+    def record(self, category: MemCategory, blocks: int = 1) -> None:
+        if blocks < 0:
+            raise ConfigError("block count must be non-negative")
+        self.counts[category] += blocks
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def total_reads(self) -> int:
+        return sum(v for c, v in self.counts.items() if c.is_read)
+
+    def total_writes(self) -> int:
+        return self.total() - self.total_reads()
+
+    def total_bytes(self) -> int:
+        return self.total() * CACHE_BLOCK_BYTES
+
+    def get(self, category: MemCategory) -> int:
+        return self.counts[category]
+
+    def reset(self) -> None:
+        for c in self.counts:
+            self.counts[c] = 0
+
+    def snapshot(self) -> Dict[MemCategory, int]:
+        return dict(self.counts)
+
+    def diff(self, earlier: Mapping[MemCategory, int]) -> "TrafficCounter":
+        """Counter of accesses accumulated since ``earlier`` snapshot."""
+        out = TrafficCounter()
+        for c in MemCategory:
+            delta = self.counts[c] - earlier.get(c, 0)
+            if delta < 0:
+                raise ConfigError("snapshot is newer than this counter")
+            out.counts[c] = delta
+        return out
+
+    def scaled(self, divisor: float) -> Dict[MemCategory, float]:
+        """Per-request view: each category divided by ``divisor``."""
+        if divisor <= 0:
+            raise ConfigError("divisor must be positive")
+        return {c: v / divisor for c, v in self.counts.items()}
+
+    def merged(self, other: "TrafficCounter") -> "TrafficCounter":
+        out = TrafficCounter()
+        for c in MemCategory:
+            out.counts[c] = self.counts[c] + other.counts[c]
+        return out
+
+    @staticmethod
+    def categories() -> Iterable[MemCategory]:
+        return tuple(MemCategory)

@@ -1,0 +1,21 @@
+"""Workload models: MICA-shaped KVS, L3 forwarder, X-Mem, spiky KVS."""
+
+from repro.workloads.base import RequestOps, Workload
+from repro.workloads.kvs import KvsParams, KvsWorkload
+from repro.workloads.l3fwd import L3fwdParams, L3fwdWorkload
+from repro.workloads.xmem import XMemParams, XMemWorkload
+from repro.workloads.spiky import SpikyKvsWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "KvsParams",
+    "KvsWorkload",
+    "L3fwdParams",
+    "L3fwdWorkload",
+    "RequestOps",
+    "SpikyKvsWorkload",
+    "Workload",
+    "XMemParams",
+    "XMemWorkload",
+    "ZipfGenerator",
+]

@@ -1,0 +1,71 @@
+"""Workload protocol shared by the trace and event engines.
+
+A workload contributes three things to the per-request loop the engines
+execute (NIC RX write → CPU packet read → application work → TX write →
+NIC TX read → optional relinquish):
+
+* its *application* memory accesses (block addresses, reads and writes);
+* how many TX blocks the response occupies;
+* its base CPU work in cycles (everything that is not a memory access),
+  used by the analytic service-time model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mem.layout import AddressSpace
+
+
+@dataclass
+class RequestOps:
+    """Application-side operations of one request."""
+
+    app_reads: List[int] = field(default_factory=list)
+    app_writes: List[int] = field(default_factory=list)
+    response_blocks: int = 1
+
+    @property
+    def num_app_accesses(self) -> int:
+        return len(self.app_reads) + len(self.app_writes)
+
+
+class Workload(abc.ABC):
+    """A request-driven networked application."""
+
+    #: label used in reports
+    name: str = "workload"
+    #: CPU cycles of pure compute per request (no memory accesses)
+    base_cycles: float = 200.0
+    #: extra CPU cycles per block the request touches (copy/parse work)
+    cycles_per_block: float = 6.0
+
+    @abc.abstractmethod
+    def build(
+        self,
+        space: AddressSpace,
+        num_cores: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Allocate this workload's regions and initialize its state."""
+
+    @abc.abstractmethod
+    def request(self, core: int) -> RequestOps:
+        """Generate the application accesses of the next request."""
+
+    def reads_full_packet(self) -> bool:
+        """Whether the CPU reads every block of the incoming packet."""
+        return True
+
+    def extra_delay_us(self) -> float:
+        """Occasional extra service delay (spiky workloads override)."""
+        return 0.0
+
+    def request_cycles(self, ops: RequestOps, packet_blocks: int) -> float:
+        """Non-memory CPU work for one request, in cycles."""
+        touched = ops.num_app_accesses + packet_blocks + ops.response_blocks
+        return self.base_cycles + self.cycles_per_block * touched

@@ -1,0 +1,45 @@
+"""Spiky-service KVS microbenchmark (§VI-F, Figure 10).
+
+A KVS where each request, with small probability, suffers an extra
+processing delay drawn uniformly from [1, 100] µs, causing temporal
+queue buildups — functionally equivalent to packet arrival bursts. Used
+to demonstrate that shallow buffering trades throughput and drop
+resilience, and that Sweeper removes the penalty of deep buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nic.arrivals import SpikeSampler
+from repro.workloads.kvs import KvsParams, KvsWorkload
+
+
+class SpikyKvsWorkload(KvsWorkload):
+    """KVS with occasional long service-time spikes."""
+
+    name = "SpikyKVS"
+
+    def __init__(
+        self,
+        params: Optional[KvsParams] = None,
+        spike_probability: float = 0.001,
+        spike_low_us: float = 1.0,
+        spike_high_us: float = 100.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(params)
+        self._spikes = SpikeSampler(
+            probability=spike_probability,
+            low_us=spike_low_us,
+            high_us=spike_high_us,
+            rng=rng if rng is not None else np.random.default_rng(23),
+        )
+
+    def extra_delay_us(self) -> float:
+        return self._spikes.sample_extra_delay_us()
+
+    def mean_extra_delay_us(self) -> float:
+        return self._spikes.mean_extra_delay_us()

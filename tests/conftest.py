@@ -1,0 +1,87 @@
+"""Shared fixtures: a tiny-but-complete machine for fast tests.
+
+The `tiny` fixtures shrink every structure (2 cores, KB-scale caches,
+short rings, 256 B packets) while keeping the same structural ratios as
+the paper's machine — RX footprint larger than the DDIO ways — so every
+qualitative behaviour under test still occurs, in milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import (
+    CacheParams,
+    CpuParams,
+    MemoryParams,
+    NicParams,
+    SystemConfig,
+)
+from repro.workloads.kvs import KvsParams, KvsWorkload
+from repro.workloads.l3fwd import L3fwdParams, L3fwdWorkload
+
+
+def make_tiny_system(
+    num_cores: int = 2,
+    ddio_ways: int = 2,
+    rx_buffers: int = 64,
+    packet_bytes: int = 256,
+    llc_sets: int = 64,
+    llc_replacement: str = "random",
+    num_channels: int = 4,
+) -> SystemConfig:
+    """A miniature Table-I machine: RX footprint >> DDIO capacity."""
+    return SystemConfig(
+        cpu=CpuParams(num_cores=num_cores),
+        l1=CacheParams(size_bytes=4096, ways=4, latency_cycles=4),
+        l2=CacheParams(size_bytes=16384, ways=8, latency_cycles=14),
+        llc=CacheParams(
+            size_bytes=llc_sets * 12 * 64,
+            ways=12,
+            latency_cycles=35,
+            replacement=llc_replacement,
+        ),
+        memory=MemoryParams(num_channels=num_channels, channel_peak_gbps=1.6),
+        nic=NicParams(
+            rx_buffers_per_core=rx_buffers,
+            tx_buffers_per_core=8,
+            packet_bytes=packet_bytes,
+            ddio_ways=ddio_ways,
+        ),
+    )
+
+
+def make_tiny_kvs(item_bytes: int = 256) -> KvsWorkload:
+    return KvsWorkload(
+        KvsParams(
+            num_keys=4096,
+            num_buckets=1024,
+            log_bytes=1 << 20,
+            item_bytes=item_bytes,
+        )
+    )
+
+
+def make_tiny_l3fwd(packet_bytes: int = 256, zero_copy: bool = False) -> L3fwdWorkload:
+    return L3fwdWorkload(
+        L3fwdParams(
+            num_rules=512,
+            packet_blocks=(packet_bytes + 63) // 64,
+            zero_copy=zero_copy,
+        )
+    )
+
+
+@pytest.fixture
+def tiny_system() -> SystemConfig:
+    return make_tiny_system()
+
+
+@pytest.fixture
+def tiny_kvs() -> KvsWorkload:
+    return make_tiny_kvs()
+
+
+@pytest.fixture
+def tiny_l3fwd() -> L3fwdWorkload:
+    return make_tiny_l3fwd()

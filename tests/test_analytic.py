@@ -1,0 +1,155 @@
+"""Unit tests for the analytic throughput / collocation solvers."""
+
+import pytest
+
+from repro.cache.hierarchy import AccessLevel
+from repro.engine.analytic import (
+    CORE_UTILIZATION_CAP,
+    ServiceProfile,
+    bandwidth_gbps,
+    perf_at_load,
+    service_cycles,
+    solve_collocated,
+    solve_peak_throughput,
+    xmem_ipc,
+)
+from repro.errors import ConfigError
+from repro.mem.dram import MAX_STABLE_UTILIZATION, DramModel
+from repro.params import SystemConfig
+
+
+def profile(mem_reads=8.0, blocks=30.0, work=600.0, llc=16.0, l2=4.0):
+    return ServiceProfile(
+        l1_accesses=2.0,
+        l2_accesses=l2,
+        llc_accesses=llc,
+        mem_reads=mem_reads,
+        mem_blocks_total=blocks,
+        cpu_work_cycles=work,
+    )
+
+
+SYSTEM = SystemConfig().scaled(0.125)
+
+
+class TestServiceModel:
+    def test_bandwidth_formula(self):
+        # 10 Mrps x 30 blocks x 64B = 19.2 GB/s
+        assert bandwidth_gbps(profile(blocks=30.0), 10.0) == pytest.approx(19.2)
+
+    def test_service_cycles_composition(self):
+        p = profile(mem_reads=0.0, llc=0.0, l2=0.0, work=500.0)
+        assert service_cycles(p, SYSTEM, 200.0) == pytest.approx(500.0)
+
+    def test_service_cycles_grow_with_memory_latency(self):
+        p = profile()
+        assert service_cycles(p, SYSTEM, 400.0) > service_cycles(p, SYSTEM, 170.0)
+
+    def test_mlp_divides_latency_cost(self):
+        p = profile(mem_reads=12.0, llc=0.0, l2=0.0, work=0.0)
+        expected = 12.0 * 300.0 / SYSTEM.cpu.mlp_mem
+        assert service_cycles(p, SYSTEM, 300.0) == pytest.approx(expected)
+
+
+class TestPeakSolver:
+    def test_lighter_traffic_gives_higher_peak(self):
+        heavy = solve_peak_throughput(profile(blocks=45.0), SYSTEM)
+        light = solve_peak_throughput(profile(blocks=12.0), SYSTEM)
+        assert light.throughput_mrps > heavy.throughput_mrps
+
+    def test_fixed_point_is_self_consistent(self):
+        p = profile()
+        peak = solve_peak_throughput(p, SYSTEM)
+        if not peak.core_limited:
+            capacity = (
+                CORE_UTILIZATION_CAP
+                * SYSTEM.cpu.num_cores
+                * SYSTEM.cpu.cycles_per_us
+                / peak.service_cycles
+            )
+            assert capacity == pytest.approx(peak.throughput_mrps, rel=0.01)
+
+    def test_bandwidth_never_exceeds_stability_limit(self):
+        peak = solve_peak_throughput(profile(blocks=200.0), SYSTEM)
+        assert peak.mem_utilization <= MAX_STABLE_UTILIZATION + 1e-6
+
+    def test_zero_traffic_is_core_limited(self):
+        p = profile(mem_reads=0.0, blocks=0.0)
+        peak = solve_peak_throughput(p, SYSTEM)
+        assert peak.core_limited
+        assert peak.mem_bandwidth_gbps == 0.0
+
+    def test_more_channels_help_bandwidth_bound_configs(self):
+        p = profile(blocks=60.0)
+        p4 = solve_peak_throughput(p, SYSTEM.with_memory(num_channels=4))
+        p8 = solve_peak_throughput(p, SYSTEM.with_memory(num_channels=8))
+        assert p8.throughput_mrps > p4.throughput_mrps
+
+    def test_network_gbps_conversion(self):
+        peak = solve_peak_throughput(profile(), SYSTEM)
+        assert peak.network_gbps(1024) == pytest.approx(
+            peak.throughput_mrps * 1024 * 8 / 1000.0
+        )
+
+
+class TestPerfAtLoad:
+    def test_matches_dram_model(self):
+        p = profile()
+        point = perf_at_load(p, SYSTEM, 2.0)
+        dram = DramModel(SYSTEM.memory, SYSTEM.cpu.freq_ghz)
+        bw = bandwidth_gbps(p, 2.0)
+        assert point.mem_latency_cycles == pytest.approx(
+            dram.avg_latency_cycles(bw)
+        )
+        assert point.mem_p99_latency_cycles >= point.mem_latency_cycles
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ConfigError):
+            perf_at_load(profile(), SYSTEM, -1.0)
+
+
+class TestXmemIpc:
+    def test_more_misses_lower_ipc(self):
+        hits = {AccessLevel.L1: 0.5, AccessLevel.LLC: 0.5}
+        misses = {AccessLevel.L1: 0.5, AccessLevel.MEM: 0.5}
+        assert xmem_ipc(hits, SYSTEM, 300.0) > xmem_ipc(misses, SYSTEM, 300.0)
+
+    def test_loaded_memory_lowers_ipc(self):
+        rates = {AccessLevel.L2: 0.5, AccessLevel.MEM: 0.5}
+        assert xmem_ipc(rates, SYSTEM, 170.0) > xmem_ipc(rates, SYSTEM, 600.0)
+
+    def test_rates_are_normalized_internally(self):
+        a = xmem_ipc({AccessLevel.MEM: 1.0}, SYSTEM, 200.0)
+        b = xmem_ipc({AccessLevel.MEM: 12345.0}, SYSTEM, 200.0)
+        assert a == pytest.approx(b)
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            xmem_ipc({}, SYSTEM, 200.0)
+
+
+class TestCollocatedSolver:
+    XMEM_RATES = {AccessLevel.L2: 0.3, AccessLevel.LLC: 0.4, AccessLevel.MEM: 0.3}
+
+    def test_converges_to_shared_operating_point(self):
+        out = solve_collocated(
+            profile(), self.XMEM_RATES, 0.5, SYSTEM, nf_cores=2, xmem_cores=1
+        )
+        assert out.nf_throughput_mrps > 0
+        assert out.xmem_ipc > 0
+        assert out.mem_latency_cycles >= SYSTEM.memory.idle_latency_cycles
+
+    def test_lighter_nf_traffic_raises_xmem_ipc(self):
+        """The §VI-E mechanism: Sweeper's bandwidth relief helps X-Mem."""
+        heavy = solve_collocated(
+            profile(blocks=45.0), self.XMEM_RATES, 0.5, SYSTEM, 2, 1
+        )
+        light = solve_collocated(
+            profile(blocks=12.0), self.XMEM_RATES, 0.5, SYSTEM, 2, 1
+        )
+        assert light.xmem_ipc > heavy.xmem_ipc
+        assert light.nf_throughput_mrps > heavy.nf_throughput_mrps
+
+    def test_needs_both_tenants(self):
+        with pytest.raises(ConfigError):
+            solve_collocated(profile(), self.XMEM_RATES, 0.5, SYSTEM, 0, 1)

@@ -1,0 +1,81 @@
+"""Unit tests for arrival processes and backlog control."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.nic.arrivals import BacklogController, PoissonArrivals, SpikeSampler
+
+
+class TestPoissonArrivals:
+    def test_mean_interval_matches_rate(self):
+        gen = PoissonArrivals(rate_per_us=2.0, rng=np.random.default_rng(1))
+        gaps = [gen.next_interval_us() for _ in range(20000)]
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.05)
+
+    def test_batch_times_are_increasing(self):
+        gen = PoissonArrivals(rate_per_us=1.0, rng=np.random.default_rng(2))
+        times = gen.sample_batch_us(1000)
+        assert np.all(np.diff(times) > 0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(0.0)
+
+
+class TestBacklogController:
+    def test_refills_to_target(self):
+        ctl = BacklogController(target_depth=50)
+        assert ctl.refill(0) == 50
+        assert ctl.refill(30) == 20
+        assert ctl.refill(50) == 0
+        assert ctl.refill(80) == 0
+
+    def test_zero_target_degenerates_to_one_packet(self):
+        ctl = BacklogController(target_depth=0)
+        assert ctl.refill(0) == 1
+        assert ctl.refill(5) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            BacklogController(-1)
+        with pytest.raises(ConfigError):
+            BacklogController(1).refill(-2)
+
+    @given(st.integers(0, 500), st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_backlog_after_refill_meets_target(self, target, backlog):
+        ctl = BacklogController(target)
+        after = backlog + ctl.refill(backlog)
+        assert after >= max(target, 1) or after == backlog  # never shrinks
+        assert after >= min(max(target, 1), after)
+        if backlog < max(target, 1):
+            assert after == max(target, 1)
+
+
+class TestSpikeSampler:
+    def test_mean_extra_delay_formula(self):
+        s = SpikeSampler(probability=0.01, low_us=1.0, high_us=100.0)
+        assert s.mean_extra_delay_us() == pytest.approx(0.505)
+
+    def test_empirical_rate_and_range(self):
+        s = SpikeSampler(
+            probability=0.05, low_us=1.0, high_us=100.0,
+            rng=np.random.default_rng(3),
+        )
+        samples = [s.sample_extra_delay_us() for _ in range(20000)]
+        spikes = [x for x in samples if x > 0]
+        assert len(spikes) / len(samples) == pytest.approx(0.05, rel=0.15)
+        assert all(1.0 <= x <= 100.0 for x in spikes)
+
+    def test_zero_probability_never_spikes(self):
+        s = SpikeSampler(probability=0.0)
+        assert all(s.sample_extra_delay_us() == 0.0 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpikeSampler(probability=1.5)
+        with pytest.raises(ConfigError):
+            SpikeSampler(low_us=10.0, high_us=1.0)

@@ -1,0 +1,147 @@
+"""Tests for the bank-level DDR4 timing model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.banked import BankedDramModel, DdrTiming, measure_sustained_bandwidth
+from repro.mem.dram import DramModel
+from repro.params import MemoryParams
+
+
+def make_model(channels=4) -> BankedDramModel:
+    return BankedDramModel(MemoryParams(num_channels=channels))
+
+
+class TestAddressMapping:
+    def test_sequential_blocks_stripe_channels(self):
+        m = make_model(channels=4)
+        channels = [m.map_block(b)[0] for b in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_row_groups_share_bank_and_row(self):
+        m = make_model(channels=1)
+        c0, b0, r0 = m.map_block(0)
+        c1, b1, r1 = m.map_block(127)  # same 128-block row group
+        assert (b0, r0) == (b1, r1)
+        _, b2, _ = m.map_block(128)  # next group -> next bank
+        assert b2 != b0
+
+    def test_banks_wrap_to_next_row(self):
+        m = make_model(channels=1)
+        group_span = m.BLOCKS_PER_ROW * m.banks_per_channel
+        _, bank_a, row_a = m.map_block(0)
+        _, bank_b, row_b = m.map_block(group_span)
+        assert bank_a == bank_b
+        assert row_b == row_a + 1
+
+
+class TestTiming:
+    def test_first_access_is_row_miss(self):
+        m = make_model()
+        lat = m.access(0, now_cycles=0.0)
+        t = m.timing
+        expected = t.row_miss_cycles + t.tBURST + t.frontend_cycles
+        assert lat == pytest.approx(expected)
+        assert m.row_misses == 1
+
+    def test_same_row_access_is_hit(self):
+        m = make_model()
+        m.access(0, now_cycles=0.0)
+        m.reset_stats()
+        m.access(4, now_cycles=1000.0)  # same channel, same row group
+        assert m.row_hits == 1
+
+    def test_different_row_same_bank_conflicts(self):
+        m = make_model(channels=1)
+        group_span = m.BLOCKS_PER_ROW * m.banks_per_channel
+        m.access(0, now_cycles=0.0)
+        m.access(group_span, now_cycles=10_000.0)
+        assert m.row_conflicts == 1
+
+    def test_conflict_costs_more_than_hit(self):
+        m = make_model(channels=1)
+        group_span = m.BLOCKS_PER_ROW * m.banks_per_channel
+        m.access(0, now_cycles=0.0)
+        hit = m.access(1, now_cycles=50_000.0)
+        conflict = m.access(group_span, now_cycles=100_000.0)
+        assert conflict > hit
+
+    def test_back_to_back_same_channel_queue(self):
+        m = make_model(channels=1)
+        first = m.access(0, now_cycles=0.0)
+        second = m.access(0, now_cycles=0.0)
+        assert second > first  # serialized behind the bus/bank
+
+    def test_bank_parallelism_overlaps(self):
+        """Two banks on one channel overlap better than one bank."""
+        same_bank = make_model(channels=1)
+        a = same_bank.access(0, 0.0)
+        group_span = (
+            same_bank.BLOCKS_PER_ROW * same_bank.banks_per_channel
+        )
+        b = same_bank.access(group_span, 0.0)  # same bank, conflict
+        two_banks = make_model(channels=1)
+        c = two_banks.access(0, 0.0)
+        d = two_banks.access(two_banks.BLOCKS_PER_ROW, 0.0)  # other bank
+        assert (c + d) < (a + b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DdrTiming(tCL=0)
+        m = make_model()
+        with pytest.raises(ConfigError):
+            m.access(0, now_cycles=-1.0)
+        with pytest.raises(ConfigError):
+            m.mean_read_latency()
+
+
+class TestBandwidth:
+    def test_sequential_beats_random(self):
+        seq = measure_sustained_bandwidth(make_model(), "sequential",
+                                          num_accesses=5000)
+        rnd = measure_sustained_bandwidth(make_model(), "random",
+                                          num_accesses=5000)
+        assert seq > rnd
+
+    def test_random_efficiency_matches_closed_form_ballpark(self):
+        """The closed-form model's efficiency=0.6 should sit in the band
+        the banked model actually achieves for random traffic."""
+        params = MemoryParams(num_channels=4)
+        rnd = measure_sustained_bandwidth(
+            BankedDramModel(params), "random", num_accesses=20000
+        )
+        efficiency = rnd / params.peak_bandwidth_gbps
+        assert 0.3 < efficiency < 0.95
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            measure_sustained_bandwidth(make_model(), "strided")
+
+
+class TestLoadedLatencyAgreement:
+    def test_latency_grows_with_load_like_the_curve(self):
+        """Both DRAM models must agree on the qualitative load-latency
+        relationship Figure 6 depends on."""
+        def mean_latency(gap_cycles):
+            m = make_model()
+            rng = np.random.default_rng(3)
+            blocks = rng.integers(0, 1 << 26, size=4000)
+            now = 0.0
+            for b in blocks:
+                m.access(int(b), now)
+                now += gap_cycles
+            return m.mean_read_latency()
+
+        light = mean_latency(gap_cycles=200.0)
+        heavy = mean_latency(gap_cycles=8.0)
+        assert heavy > light
+        curve = DramModel(MemoryParams(num_channels=4), freq_ghz=3.2)
+        assert curve.avg_latency_cycles(40.0) > curve.avg_latency_cycles(5.0)
+
+    def test_row_hit_rate_reported(self):
+        m = make_model()
+        for b in range(100):
+            m.access(b // 4, now_cycles=b * 1000.0)
+        assert 0.0 <= m.row_hit_rate() <= 1.0
+        assert m.accesses == 100

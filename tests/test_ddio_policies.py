@@ -1,0 +1,103 @@
+"""Unit tests for the DMA / DDIO / ideal-DDIO injection policies."""
+
+import pytest
+
+from repro.cache.hierarchy import AccessLevel, CacheHierarchy
+from repro.errors import ConfigError
+from repro.mem.layout import RegionKind
+from repro.nic.ddio import DdioPolicy, DmaPolicy, IdealDdioPolicy, make_policy
+from repro.traffic import MemCategory
+
+from tests.conftest import make_tiny_system
+
+RX = RegionKind.RX_BUFFER
+TX = RegionKind.TX_BUFFER
+
+
+@pytest.fixture
+def hier() -> CacheHierarchy:
+    return CacheHierarchy(make_tiny_system())
+
+
+class TestDma:
+    def test_rx_write_goes_to_memory(self, hier):
+        DmaPolicy().rx_write(hier, 0, 100)
+        assert hier.traffic.get(MemCategory.NIC_RX_WR) == 1
+        assert not hier.llc.contains(100)
+
+    def test_rx_write_invalidates_stale_copies_without_writeback(self, hier):
+        hier.cpu_write(0, 100, RX)
+        hier.traffic.reset()
+        DmaPolicy().rx_write(hier, 0, 100)
+        assert not hier.l1s[0].contains(100)
+        assert hier.traffic.get(MemCategory.RX_EVCT) == 0
+        assert hier.traffic.get(MemCategory.NIC_RX_WR) == 1
+
+    def test_tx_read_flushes_dirty_then_reads_memory(self, hier):
+        hier.cpu_write(0, 50, TX)
+        hier.traffic.reset()
+        DmaPolicy().tx_read(hier, 0, 50)
+        assert hier.traffic.get(MemCategory.TX_EVCT) == 1
+        assert hier.traffic.get(MemCategory.NIC_TX_RD) == 1
+
+    def test_cpu_buffer_accesses_use_real_hierarchy(self):
+        assert DmaPolicy().cpu_buffer_level(RX) is None
+
+
+class TestDdio:
+    def test_rx_write_allocates_in_llc(self, hier):
+        DdioPolicy(2).rx_write(hier, 0, 100)
+        assert hier.llc.contains(100)
+        assert hier.traffic.total() == 0
+
+    def test_bind_sets_hierarchy_mask(self, hier):
+        DdioPolicy(4).bind(hier)
+        assert hier.ddio_way_mask == (0, 1, 2, 3)
+
+    def test_bind_rejects_too_many_ways(self, hier):
+        with pytest.raises(ConfigError):
+            DdioPolicy(13).bind(hier)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigError):
+            DdioPolicy(0)
+
+    def test_tx_read_probes_caches(self, hier):
+        hier.cpu_write(0, 50, TX)
+        hier.traffic.reset()
+        DdioPolicy(2).tx_read(hier, 0, 50)
+        assert hier.traffic.get(MemCategory.NIC_TX_RD) == 0
+
+    def test_name_includes_ways(self):
+        assert DdioPolicy(6).name == "DDIO 6 Ways"
+
+
+class TestIdeal:
+    def test_no_cache_or_memory_effects(self, hier):
+        p = IdealDdioPolicy()
+        p.rx_write(hier, 0, 100)
+        p.tx_read(hier, 0, 100)
+        assert hier.traffic.total() == 0
+        assert hier.llc.occupancy() == 0
+
+    def test_cpu_buffer_accesses_intercepted_at_llc_latency(self):
+        p = IdealDdioPolicy()
+        assert p.cpu_buffer_level(RX) is AccessLevel.LLC
+        assert p.cpu_buffer_level(TX) is AccessLevel.LLC
+        assert p.cpu_buffer_level(RegionKind.APP) is None
+
+
+class TestFactory:
+    def test_specs(self):
+        assert isinstance(make_policy("dma"), DmaPolicy)
+        assert isinstance(make_policy("ideal"), IdealDdioPolicy)
+        ddio = make_policy("ddio", ddio_ways=6)
+        assert isinstance(ddio, DdioPolicy)
+        assert ddio.ways == 6
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("DMA"), DmaPolicy)
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ConfigError):
+            make_policy("magic")

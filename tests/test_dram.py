@@ -1,0 +1,142 @@
+"""Unit tests for the DRAM load-latency model and event sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.dram import MAX_STABLE_UTILIZATION, DramModel, DramSampler
+from repro.params import MemoryParams
+
+
+def make_model(channels=4, efficiency=0.6) -> DramModel:
+    return DramModel(
+        MemoryParams(num_channels=channels, efficiency=efficiency), freq_ghz=3.2
+    )
+
+
+class TestDramModel:
+    def test_idle_latency_at_zero_demand(self):
+        m = make_model()
+        assert m.avg_latency_cycles(0.0) == pytest.approx(
+            m.params.idle_latency_cycles
+        )
+
+    def test_latency_monotone_in_demand(self):
+        m = make_model()
+        demands = np.linspace(0, m.usable_bandwidth_gbps * 0.9, 20)
+        lats = [m.avg_latency_cycles(d) for d in demands]
+        assert all(b >= a for a, b in zip(lats, lats[1:]))
+
+    def test_latency_blows_up_near_saturation(self):
+        m = make_model()
+        near = m.avg_latency_cycles(0.97 * m.usable_bandwidth_gbps)
+        mid = m.avg_latency_cycles(0.5 * m.usable_bandwidth_gbps)
+        assert near > 5 * mid
+
+    def test_latency_capped_beyond_stability(self):
+        m = make_model()
+        over = m.avg_latency_cycles(2.0 * m.usable_bandwidth_gbps)
+        at_cap = m.avg_latency_cycles(
+            MAX_STABLE_UTILIZATION * m.usable_bandwidth_gbps
+        )
+        assert over == pytest.approx(at_cap)
+
+    def test_utilization_and_stability(self):
+        m = make_model()
+        half = 0.5 * m.usable_bandwidth_gbps
+        assert m.utilization(half) == pytest.approx(0.5)
+        assert m.is_stable(half)
+        assert not m.is_stable(m.usable_bandwidth_gbps)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigError):
+            make_model().utilization(-1.0)
+
+    def test_p99_exceeds_mean_under_load(self):
+        m = make_model()
+        d = 0.7 * m.usable_bandwidth_gbps
+        assert m.p99_latency_cycles(d) > m.avg_latency_cycles(d)
+
+    def test_more_channels_lower_latency_at_same_demand(self):
+        """Figure 8 mechanism: provisioning more channels relieves load."""
+        demand = 30.0
+        lat4 = make_model(channels=4).avg_latency_cycles(demand)
+        lat8 = make_model(channels=8).avg_latency_cycles(demand)
+        assert lat8 < lat4
+
+    def test_latency_cdf_is_valid_distribution(self):
+        m = make_model()
+        lat, cdf = m.latency_cdf(0.6 * m.usable_bandwidth_gbps)
+        assert np.all(np.diff(lat) > 0)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] == pytest.approx(0.0, abs=1e-9)
+        assert cdf[-1] > 0.99
+        assert lat[0] == pytest.approx(m.params.idle_latency_cycles)
+
+    def test_service_cycles_per_block_scale(self):
+        m = make_model()
+        # 64B over 25.6 GB/s * 0.6 at 3.2 GHz ~ 13.3 cycles
+        assert m.service_cycles_per_block() == pytest.approx(13.33, rel=0.01)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            DramModel(MemoryParams(), freq_ghz=0)
+
+    @given(st.floats(0.0, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_queueing_delay_nonnegative(self, frac):
+        m = make_model()
+        assert m.queueing_cycles(frac * m.usable_bandwidth_gbps) >= 0.0
+
+
+class TestDramSampler:
+    def make(self, channels=2) -> DramSampler:
+        return DramSampler(
+            MemoryParams(num_channels=channels, channel_peak_gbps=1.0),
+            freq_ghz=3.2,
+            rng=np.random.default_rng(5),
+        )
+
+    def test_channel_interleave(self):
+        s = self.make(channels=2)
+        assert s.channel_of_block(0) == 0
+        assert s.channel_of_block(1) == 1
+        assert s.channel_of_block(2) == 0
+
+    def test_unloaded_read_sees_idle_latency(self):
+        s = self.make()
+        lat = s.read(0, now_cycles=0.0)
+        assert lat == pytest.approx(s.params.idle_latency_cycles)
+
+    def test_back_to_back_reads_queue(self):
+        s = self.make()
+        first = s.read(0, now_cycles=0.0)
+        second = s.read(2, now_cycles=0.0)  # same channel, same instant
+        assert second > first
+
+    def test_writes_consume_bandwidth_but_not_latency_stats(self):
+        s = self.make()
+        s.write(0, now_cycles=0.0)
+        assert s.read_latencies == []
+        lat = s.read(2, now_cycles=0.0)  # queued behind the write
+        assert lat > s.params.idle_latency_cycles
+
+    def test_stats_helpers(self):
+        s = self.make()
+        for i in range(100):
+            s.read(i, now_cycles=float(i) * 1000.0)
+        assert s.mean_latency() > 0
+        assert s.percentile(99) >= s.percentile(50)
+        s.reset_stats()
+        with pytest.raises(ConfigError):
+            s.mean_latency()
+
+    def test_high_rate_increases_observed_latency(self):
+        slow = self.make()
+        fast = self.make()
+        for i in range(2000):
+            slow.read(i, now_cycles=float(i) * 1e4)
+            fast.read(i, now_cycles=float(i) * 10.0)
+        assert fast.mean_latency() > slow.mean_latency()

@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event layer (drops, latency sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.events import FiniteRingSimulator, sample_memory_latencies
+from repro.errors import ConfigError
+from repro.params import SystemConfig
+
+SYSTEM = SystemConfig().scaled(0.125)
+
+
+def make_sim(ring=64, service_us=0.5, spikes=None) -> FiniteRingSimulator:
+    return FiniteRingSimulator(
+        SYSTEM,
+        ring_entries=ring,
+        base_service_us=lambda _mrps: service_us,
+        spike_sampler=spikes,
+    )
+
+
+class TestFiniteRing:
+    def test_light_load_no_drops(self):
+        # 3 cores at 0.5us service can do 6 Mrps; offer 1.
+        out = make_sim().run(1.0, packets_per_core=5000)
+        assert out.drop_rate == 0.0
+        assert out.delivered_mrps > 0
+
+    def test_overload_drops(self):
+        out = make_sim(ring=8).run(20.0, packets_per_core=5000)
+        assert out.drop_rate > 0.2
+
+    def test_drop_rate_monotone_in_load(self):
+        sim = make_sim(ring=16)
+        rates = [sim.run(x, packets_per_core=4000).drop_rate
+                 for x in (2.0, 6.0, 12.0, 24.0)]
+        assert all(b >= a - 0.01 for a, b in zip(rates, rates[1:]))
+
+    def test_deeper_rings_absorb_bursts(self):
+        spikes = np.random.default_rng(5)
+
+        def spike():
+            return 20.0 if spikes.random() < 0.01 else 0.0
+
+        shallow = FiniteRingSimulator(
+            SYSTEM, 4, lambda _m: 0.5, spike_sampler=spike, seed=7
+        ).run(3.0, packets_per_core=8000)
+        spikes2 = np.random.default_rng(5)
+
+        def spike2():
+            return 20.0 if spikes2.random() < 0.01 else 0.0
+
+        deep = FiniteRingSimulator(
+            SYSTEM, 256, lambda _m: 0.5, spike_sampler=spike2, seed=7
+        ).run(3.0, packets_per_core=8000)
+        assert deep.drop_rate < shallow.drop_rate
+
+    def test_sojourn_statistics(self):
+        out = make_sim().run(2.0, packets_per_core=4000)
+        assert out.p99_sojourn_us >= out.mean_sojourn_us > 0
+
+    def test_peak_no_drop_below_capacity(self):
+        sim = make_sim(ring=64, service_us=0.5)
+        peak = sim.peak_no_drop_mrps(packets_per_core=3000, iterations=10)
+        capacity = SYSTEM.cpu.num_cores / 0.5
+        assert 0 < peak <= capacity
+
+    def test_peak_no_drop_higher_for_deeper_ring_with_spikes(self):
+        rng = np.random.default_rng(11)
+
+        def spike():
+            return 30.0 if rng.random() < 0.005 else 0.0
+
+        shallow = FiniteRingSimulator(
+            SYSTEM, 8, lambda _m: 0.4, spike_sampler=spike, seed=3
+        ).peak_no_drop_mrps(packets_per_core=4000, iterations=10)
+        rng = np.random.default_rng(11)
+        deep = FiniteRingSimulator(
+            SYSTEM, 512, lambda _m: 0.4, spike_sampler=spike, seed=3
+        ).peak_no_drop_mrps(packets_per_core=4000, iterations=10)
+        assert deep > shallow
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make_sim(ring=0)
+        with pytest.raises(ConfigError):
+            make_sim().run(0.0)
+
+    def test_load_dependent_service_is_used(self):
+        calls = []
+
+        def service(mrps):
+            calls.append(mrps)
+            return 0.3
+
+        FiniteRingSimulator(SYSTEM, 16, service).run(2.0, packets_per_core=100)
+        assert calls == [2.0]
+
+
+class TestLatencySampling:
+    def test_zero_bandwidth_is_idle_latency(self):
+        lats = sample_memory_latencies(SYSTEM, 0.0, num_accesses=100)
+        assert np.all(lats == SYSTEM.memory.idle_latency_cycles)
+
+    def test_loaded_latency_exceeds_idle(self):
+        usable = SYSTEM.memory.usable_bandwidth_gbps
+        lats = sample_memory_latencies(SYSTEM, 0.8 * usable, num_accesses=20000)
+        assert lats.mean() > SYSTEM.memory.idle_latency_cycles
+
+    def test_higher_load_higher_latency(self):
+        usable = SYSTEM.memory.usable_bandwidth_gbps
+        low = sample_memory_latencies(SYSTEM, 0.2 * usable, num_accesses=20000)
+        high = sample_memory_latencies(SYSTEM, 0.85 * usable, num_accesses=20000)
+        assert high.mean() > low.mean()
+        assert np.percentile(high, 99) > np.percentile(low, 99)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ConfigError):
+            sample_memory_latencies(SYSTEM, -1.0)

@@ -1,0 +1,107 @@
+"""Unit tests for the experiment plumbing and CLI."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    ExperimentSettings,
+    FigureResult,
+    kvs_system,
+    kvs_workload,
+    l3fwd_workload,
+    policy_label,
+    run_point,
+)
+from repro.traffic import MemCategory
+
+
+class TestSettings:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        monkeypatch.setenv("REPRO_MEASURE", "2.0")
+        s = ExperimentSettings.from_env()
+        assert s.scale == 0.25
+        assert s.measure_multiplier == 2.0
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_MEASURE", raising=False)
+        s = ExperimentSettings.from_env()
+        assert s.scale == 0.125
+        assert s.measure_multiplier == 1.0
+
+
+class TestHelpers:
+    def test_policy_labels(self):
+        assert policy_label("dma", 2, False) == "DMA"
+        assert policy_label("ideal", 2, False) == "Ideal DDIO"
+        assert policy_label("ddio", 6, False) == "DDIO 6 Ways"
+        assert policy_label("ddio", 2, True) == "DDIO 2 Ways + Sweeper"
+
+    def test_kvs_system_applies_knobs(self):
+        s = kvs_system(0.125, rx_buffers=512, ddio_ways=6, packet_bytes=512,
+                       num_channels=8)
+        assert s.nic.rx_buffers_per_core == 512
+        assert s.nic.ddio_ways == 6
+        assert s.nic.packet_bytes == 512
+        assert s.memory.num_channels == 8
+        assert s.cpu.num_cores == 3
+
+    def test_workload_factories(self):
+        kvs = kvs_workload(0.125, 512)
+        assert kvs.params.item_bytes == 512
+        assert kvs.params.num_keys == 300_000
+        nf = l3fwd_workload(1024, l1_resident=True)
+        assert nf.params.num_rules == 128
+        assert nf.params.packet_blocks == 16
+
+
+class TestRunPointAndResult:
+    @pytest.fixture(scope="class")
+    def point(self):
+        settings = ExperimentSettings(scale=0.05, measure_multiplier=0.1)
+        system = kvs_system(0.05, 64, 2, 512)
+        return run_point(
+            "p", system, kvs_workload(0.02, 512), "ddio",
+            sweeper=True, settings=settings,
+        )
+
+    def test_point_carries_trace_profile_perf(self, point):
+        assert point.throughput_mrps > 0
+        assert point.trace.requests > 0
+        assert point.profile.mem_blocks_total == pytest.approx(
+            point.trace.mem_accesses_per_request()
+        )
+        assert MemCategory.RX_EVCT in point.breakdown
+
+    def test_full_scale_extrapolation(self, point):
+        assert point.full_scale_mrps(0.05) == pytest.approx(
+            point.throughput_mrps / 0.05
+        )
+        with pytest.raises(ConfigError):
+            point.full_scale_mrps(0.0)
+
+    def test_figure_result_lookup_and_render(self, point):
+        fig = FigureResult(figure="F", title="t", points=[point], scale=0.05)
+        assert fig.point("p") is point
+        assert fig.labels() == ["p"]
+        with pytest.raises(ConfigError):
+            fig.point("missing")
+        out = fig.render()
+        assert "F: t" in out
+        assert "p" in out
+
+
+class TestCli:
+    def test_table1_via_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nope"])

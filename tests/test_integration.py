@@ -1,0 +1,140 @@
+"""Cross-module integration tests: the full public-API request path and
+the ablations DESIGN.md calls out."""
+
+import pytest
+
+from repro import (
+    KvsParams,
+    KvsWorkload,
+    MemCategory,
+    ServiceProfile,
+    SystemConfig,
+    TraceConfig,
+    TraceSimulator,
+    perf_at_load,
+    solve_peak_throughput,
+)
+from repro.engine.tracer import TraceSimulator as TracerClass
+
+from tests.conftest import make_tiny_kvs, make_tiny_l3fwd, make_tiny_system
+
+
+def small_cfg(**kwargs):
+    defaults = dict(
+        system=make_tiny_system(),
+        workload=make_tiny_kvs(),
+        policy="ddio",
+        warmup_requests=2500,
+        measure_requests=1500,
+    )
+    defaults.update(kwargs)
+    return TraceConfig(**defaults)
+
+
+class TestQuickstartPath:
+    """The README quickstart, executed as a test."""
+
+    def test_public_api_end_to_end(self):
+        system = (
+            SystemConfig()
+            .scaled(0.1)
+            .with_nic(ddio_ways=2, rx_buffers_per_core=128, packet_bytes=512)
+        )
+        workload = KvsWorkload(KvsParams(item_bytes=512).scaled(0.05))
+        cfg = TraceConfig(
+            system=system, workload=workload, policy="ddio", sweeper=True,
+            warmup_requests=2000, measure_requests=1000,
+        )
+        trace = TraceSimulator(cfg).run()
+        profile = ServiceProfile.from_trace(trace)
+        peak = solve_peak_throughput(profile, system)
+        assert peak.throughput_mrps > 0
+        assert trace.per_request()[MemCategory.RX_EVCT] < 0.5
+        mid = perf_at_load(profile, system, 0.5 * peak.throughput_mrps)
+        assert mid.mem_latency_cycles <= peak.mem_latency_cycles
+
+
+class TestSweepTimingAblation:
+    """Sweeping at consume-time vs never (DESIGN.md ablation): the
+    steady-state RX footprint in the LLC shrinks when swept."""
+
+    def test_llc_rx_occupancy_drops_with_sweeper(self):
+        from repro.mem.layout import RegionKind
+
+        base = TracerClass(small_cfg(sweeper=False)).run()
+        swept = TracerClass(small_cfg(sweeper=True)).run()
+        assert (
+            swept.llc_occupancy_by_kind[RegionKind.RX_BUFFER]
+            < 0.3 * max(base.llc_occupancy_by_kind[RegionKind.RX_BUFFER], 1)
+        )
+
+
+class TestTxSweepAblation:
+    """CPU-driven relinquish vs NIC-driven TX sweeping (§V-D)."""
+
+    def test_both_mechanisms_remove_consumed_buffers(self):
+        cpu_swept = TracerClass(small_cfg(sweeper=True)).run()
+        nic_swept = TracerClass(
+            small_cfg(workload=make_tiny_l3fwd(zero_copy=True), sweeper=True)
+        ).run()
+        assert cpu_swept.sweep_instructions > 0 and cpu_swept.nic_sweeps == 0
+        assert nic_swept.nic_sweeps > 0 and nic_swept.sweep_instructions == 0
+        for result in (cpu_swept, nic_swept):
+            assert result.per_request()[MemCategory.RX_EVCT] < 0.3
+
+    def test_tx_buffer_sweeping_removes_tx_evictions(self):
+        base = TracerClass(small_cfg(sweeper=False)).run()
+        swept = TracerClass(small_cfg(sweeper=True, nic_tx_sweep=True)).run()
+        assert (
+            swept.per_request()[MemCategory.TX_EVCT]
+            <= base.per_request()[MemCategory.TX_EVCT]
+        )
+        assert swept.nic_sweeps > 0
+
+
+class TestReplacementAblation:
+    """LRU vs random LLC replacement (DESIGN.md ablation)."""
+
+    def test_random_replacement_softens_the_capacity_cliff(self):
+        # Ring slightly larger than DDIO capacity: LRU cycling misses
+        # everything; random keeps a proportional fraction resident.
+        def leak(replacement):
+            system = make_tiny_system(
+                llc_replacement=replacement, rx_buffers=96, ddio_ways=4
+            )
+            r = TracerClass(small_cfg(system=system)).run()
+            return r.per_request()[MemCategory.RX_EVCT]
+
+        assert leak("random") <= leak("lru") + 0.2
+
+
+class TestRunawayBufferAblation:
+    """§VI-C: with clean victim fills enabled, prematurely evicted
+    buffers park in non-DDIO ways and soak up extra LLC space."""
+
+    def test_clean_fill_parks_rx_blocks_outside_ddio_ways(self):
+        from repro.mem.layout import RegionKind
+
+        cfg = small_cfg(workload=make_tiny_l3fwd(), queued_depth=24)
+        sim = TracerClass(cfg)
+        sim.hier.victim_fill_clean = True
+        result = sim.run()
+        rx_resident = result.llc_occupancy_by_kind[RegionKind.RX_BUFFER]
+        ddio_capacity = sim.hier.llc.num_sets * len(sim.hier.ddio_way_mask)
+        assert rx_resident > ddio_capacity  # spilled beyond the DDIO ways
+
+
+class TestScaledConsistency:
+    """The same experiment at two scales tells the same story."""
+
+    @pytest.mark.parametrize("sweeper", [False, True])
+    def test_rx_leak_rate_scale_invariant(self, sweeper):
+        def leak_per_request(rx_buffers, llc_sets):
+            system = make_tiny_system(rx_buffers=rx_buffers, llc_sets=llc_sets)
+            r = TracerClass(small_cfg(system=system, sweeper=sweeper,
+                                      workload=make_tiny_kvs())).run()
+            return r.per_request()[MemCategory.RX_EVCT]
+
+        small = leak_per_request(64, 64)
+        double = leak_per_request(128, 128)
+        assert double == pytest.approx(small, abs=0.6)

@@ -1,0 +1,108 @@
+"""Unit tests for the address-space layout."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.mem.layout import AddressSpace, Region, RegionKind
+from repro.params import CACHE_BLOCK_BYTES
+
+
+class TestRegion:
+    def test_block_accessors(self):
+        r = Region("r", RegionKind.APP, start=128, size=256)
+        assert r.start_block == 2
+        assert r.num_blocks == 4
+        assert r.end_block == 6
+        assert r.end == 384
+
+    def test_contains(self):
+        r = Region("r", RegionKind.APP, start=64, size=128)
+        assert r.contains(64)
+        assert r.contains(191)
+        assert not r.contains(192)
+        assert not r.contains(63)
+
+    def test_block_at_offset(self):
+        r = Region("r", RegionKind.RX_BUFFER, start=1024, size=512)
+        assert r.block_at(0) == 16
+        assert r.block_at(64) == 17
+        assert r.block_at(511) == 23
+
+    def test_block_at_rejects_out_of_range(self):
+        r = Region("r", RegionKind.APP, start=0, size=64)
+        with pytest.raises(AddressError):
+            r.block_at(64)
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ConfigError):
+            Region("r", RegionKind.APP, start=10, size=64)
+        with pytest.raises(ConfigError):
+            Region("r", RegionKind.APP, start=64, size=10)
+
+
+class TestAddressSpace:
+    def test_sequential_non_overlapping_allocation(self):
+        space = AddressSpace()
+        a = space.allocate("a", 256, RegionKind.APP)
+        b = space.allocate("b", 128, RegionKind.RX_BUFFER)
+        assert a.end <= b.start
+        assert space.total_bytes == b.end
+
+    def test_size_rounds_up_to_block(self):
+        space = AddressSpace()
+        r = space.allocate("r", 100, RegionKind.APP)
+        assert r.size == 128
+
+    def test_find_by_address_and_block(self):
+        space = AddressSpace()
+        a = space.allocate("a", 256, RegionKind.APP)
+        b = space.allocate("b", 256, RegionKind.TX_BUFFER)
+        assert space.find(a.start) is a
+        assert space.find(b.start + 100) is b
+        assert space.find_block(b.start_block) is b
+        assert space.kind_of_block(a.start_block) is RegionKind.APP
+
+    def test_find_outside_raises(self):
+        space = AddressSpace()
+        space.allocate("a", 64, RegionKind.APP)
+        with pytest.raises(AddressError):
+            space.find(1 << 30)
+
+    def test_region_by_name(self):
+        space = AddressSpace()
+        r = space.allocate("rx", 64, RegionKind.RX_BUFFER, owner_core=3)
+        assert space.region("rx") is r
+        assert r.owner_core == 3
+        with pytest.raises(AddressError):
+            space.region("missing")
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.allocate("a", 64, RegionKind.APP)
+        with pytest.raises(ConfigError):
+            space.allocate("a", 64, RegionKind.APP)
+
+    def test_custom_alignment(self):
+        space = AddressSpace()
+        space.allocate("a", 64, RegionKind.APP)
+        r = space.allocate("b", 64, RegionKind.APP, align=4096)
+        assert r.start % 4096 == 0
+
+    def test_bad_alignment_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ConfigError):
+            space.allocate("a", 64, RegionKind.APP, align=100)
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(base=100)
+
+    def test_many_regions_bisect_lookup(self):
+        space = AddressSpace()
+        regions = [
+            space.allocate(f"r{i}", CACHE_BLOCK_BYTES, RegionKind.APP)
+            for i in range(100)
+        ]
+        for r in regions:
+            assert space.find(r.start) is r
+            assert space.find(r.end - 1) is r

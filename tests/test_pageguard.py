@@ -1,0 +1,148 @@
+"""Tests for the §V-B page-recycling privacy model.
+
+The central scenario: process A writes a secret; the OS reclaims the
+page for process B; B clsweeps the zeroed blocks and reads. A vulnerable
+zeroing method (cached, no CLWB) leaks the secret; both mitigations the
+paper proposes keep it hidden.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pageguard import (
+    FunctionalCache,
+    FunctionalMemory,
+    OsPageManager,
+    ZeroingMethod,
+)
+from repro.errors import ConfigError, SweepPermissionError
+
+SECRET = 0xDEAD
+
+
+def make_world(blocks_per_page=4):
+    cache = FunctionalCache(FunctionalMemory())
+    return OsPageManager(cache=cache, blocks_per_page=blocks_per_page)
+
+
+class TestFunctionalCache:
+    def test_write_then_read(self):
+        c = FunctionalCache(FunctionalMemory())
+        c.write(0, 42)
+        assert c.read(0) == 42
+        assert c.is_dirty(0)
+
+    def test_clwb_persists_and_keeps_line(self):
+        c = FunctionalCache(FunctionalMemory())
+        c.write(0, 42)
+        c.clwb(0)
+        assert c.memory.read(0) == 42
+        assert c.is_cached(0)
+        assert not c.is_dirty(0)
+
+    def test_clflush_persists_and_invalidates(self):
+        c = FunctionalCache(FunctionalMemory())
+        c.write(0, 42)
+        c.clflush(0)
+        assert c.memory.read(0) == 42
+        assert not c.is_cached(0)
+
+    def test_clsweep_discards_dirty_data(self):
+        c = FunctionalCache(FunctionalMemory())
+        c.memory.write(0, 7)
+        c.write(0, 42)
+        c.clsweep(0)
+        assert c.read(0) == 7  # dirty 42 was dropped, memory wins
+
+    def test_read_caches_clean_copy(self):
+        c = FunctionalCache(FunctionalMemory())
+        c.memory.write(0, 9)
+        assert c.read(0) == 9
+        assert c.is_cached(0)
+        assert not c.is_dirty(0)
+
+
+class TestPrivacyBreach:
+    def _scenario(self, method: ZeroingMethod) -> int:
+        """Return what the new owner reads after reclaim + clsweep."""
+        os = make_world()
+        os.create_page(0, owner=1)
+        os.request_clsweep_permission(2)
+        # Previous owner writes a secret; it reaches DRAM via writeback.
+        os.process_write(1, 0, offset=0, value=SECRET)
+        os.cache.clwb(os.pages[0].start_block)
+        os.reclaim_page(0, new_owner=2, method=method)
+        os.process_clsweep(2, 0, offset=0)
+        return os.process_read(2, 0, offset=0)
+
+    def test_cached_zeroing_without_clwb_leaks_the_secret(self):
+        assert self._scenario(ZeroingMethod.CACHED) == SECRET
+
+    def test_clwb_mitigation_hides_the_secret(self):
+        assert self._scenario(ZeroingMethod.CACHED_CLWB) == 0
+
+    def test_dma_zeroing_hides_the_secret(self):
+        assert self._scenario(ZeroingMethod.DMA_TO_MEMORY) == 0
+
+    def test_kernel_policy_selects_clwb_for_clsweep_users(self):
+        os = make_world()
+        os.request_clsweep_permission(2)
+        assert os.safe_method_for(2) is ZeroingMethod.CACHED_CLWB
+        assert os.safe_method_for(3) is ZeroingMethod.CACHED
+
+
+class TestOwnershipAndPermissions:
+    def test_non_owner_cannot_access(self):
+        os = make_world()
+        os.create_page(0, owner=1)
+        with pytest.raises(ConfigError):
+            os.process_read(2, 0, 0)
+        with pytest.raises(ConfigError):
+            os.process_write(2, 0, 0, 1)
+
+    def test_clsweep_without_permission_rejected(self):
+        os = make_world()
+        os.create_page(0, owner=1)
+        with pytest.raises(SweepPermissionError):
+            os.process_clsweep(1, 0, 0)
+
+    def test_duplicate_page_rejected(self):
+        os = make_world()
+        os.create_page(0, owner=1)
+        with pytest.raises(ConfigError):
+            os.create_page(0, owner=2)
+
+    def test_reclaim_unknown_page_rejected(self):
+        with pytest.raises(ConfigError):
+            make_world().reclaim_page(9, new_owner=1)
+
+    def test_reclaim_transfers_ownership(self):
+        os = make_world()
+        os.create_page(0, owner=1)
+        os.reclaim_page(0, new_owner=2)
+        os.process_write(2, 0, 0, 5)  # new owner may write
+        with pytest.raises(ConfigError):
+            os.process_write(1, 0, 0, 5)  # old owner may not
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 0xFFFF)), max_size=12
+    ),
+    sweep_offsets=st.lists(st.integers(0, 3), max_size=8),
+)
+def test_safe_reclaim_never_leaks_any_prior_value(writes, sweep_offsets):
+    """Property: after a CLWB-zeroed reclaim, no clsweep sequence by the
+    new owner can surface any value the previous owner wrote."""
+    os = make_world()
+    os.create_page(0, owner=1)
+    os.request_clsweep_permission(2)
+    for offset, value in writes:
+        os.process_write(1, 0, offset, value)
+    os.reclaim_page(0, new_owner=2, method=ZeroingMethod.CACHED_CLWB)
+    for offset in sweep_offsets:
+        os.process_clsweep(2, 0, offset)
+    for offset in range(4):
+        assert os.process_read(2, 0, offset) == 0

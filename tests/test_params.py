@@ -1,0 +1,155 @@
+"""Unit tests for the system configuration (Table I parameters)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import (
+    CACHE_BLOCK_BYTES,
+    CacheParams,
+    CpuParams,
+    MemoryParams,
+    MiB,
+    NicParams,
+    SystemConfig,
+    TABLE1,
+)
+
+
+class TestCacheParams:
+    def test_table1_llc_geometry(self):
+        llc = TABLE1.llc
+        assert llc.size_bytes == 36 * MiB
+        assert llc.ways == 12
+        assert llc.num_sets == 49152
+        assert llc.num_blocks == 589824
+
+    def test_num_sets_times_ways_times_block_is_size(self):
+        p = CacheParams(size_bytes=1 << 20, ways=16, latency_cycles=10)
+        assert p.num_sets * p.ways * p.block_bytes == p.size_bytes
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheParams(size_bytes=1000, ways=3, latency_cycles=1)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigError):
+            CacheParams(size_bytes=0, ways=1, latency_cycles=1)
+
+    def test_rejects_unknown_replacement(self):
+        with pytest.raises(ConfigError):
+            CacheParams(
+                size_bytes=4096, ways=4, latency_cycles=1, replacement="plru"
+            )
+
+    def test_with_sets_resizes(self):
+        p = CacheParams(size_bytes=4096, ways=4, latency_cycles=1)
+        q = p.with_sets(32)
+        assert q.num_sets == 32
+        assert q.ways == p.ways
+        assert q.latency_cycles == p.latency_cycles
+
+
+class TestCpuParams:
+    def test_table1_core_count_and_frequency(self):
+        assert TABLE1.cpu.num_cores == 24
+        assert TABLE1.cpu.freq_ghz == pytest.approx(3.2)
+
+    def test_cycles_per_us(self):
+        assert CpuParams(freq_ghz=2.0).cycles_per_us == pytest.approx(2000.0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            CpuParams(num_cores=0)
+
+
+class TestMemoryParams:
+    def test_peak_bandwidth_is_channels_times_channel(self):
+        m = MemoryParams(num_channels=4, channel_peak_gbps=25.6)
+        assert m.peak_bandwidth_gbps == pytest.approx(102.4)
+
+    def test_usable_bandwidth_applies_efficiency(self):
+        m = MemoryParams(num_channels=2, channel_peak_gbps=10.0, efficiency=0.5)
+        assert m.usable_bandwidth_gbps == pytest.approx(10.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            MemoryParams(efficiency=0.0)
+        with pytest.raises(ConfigError):
+            MemoryParams(efficiency=1.5)
+
+
+class TestNicParams:
+    def test_blocks_per_packet_rounds_up(self):
+        assert NicParams(packet_bytes=1024).blocks_per_packet == 16
+        assert NicParams(packet_bytes=1000).blocks_per_packet == 16
+        assert NicParams(packet_bytes=65).blocks_per_packet == 2
+
+    def test_rx_footprint(self):
+        nic = NicParams(rx_buffers_per_core=1024, packet_bytes=1024)
+        assert nic.rx_footprint_bytes_per_core == 1024 * 1024
+
+    def test_rejects_zero_rings(self):
+        with pytest.raises(ConfigError):
+            NicParams(rx_buffers_per_core=0)
+
+
+class TestSystemConfig:
+    def test_paper_footprint_numbers(self):
+        """§IV-A: 512/1024/2048 buffers/core of 1KB = 12/24/48 MB."""
+        for buffers, mb in ((512, 12), (1024, 24), (2048, 48)):
+            s = TABLE1.with_nic(rx_buffers_per_core=buffers, packet_bytes=1024)
+            assert s.total_rx_footprint_bytes == mb * MiB
+
+    def test_paper_ddio_capacity_numbers(self):
+        """§IV-A: 2-, 4-, 6-way DDIO = 6, 12, 18 MB of the 36 MB LLC."""
+        for ways, mb in ((2, 6), (4, 12), (6, 18)):
+            s = TABLE1.with_nic(ddio_ways=ways)
+            assert s.ddio_capacity_bytes == mb * MiB
+
+    def test_rejects_ddio_ways_above_llc(self):
+        with pytest.raises(ConfigError):
+            TABLE1.with_nic(ddio_ways=13)
+
+    def test_scaled_preserves_footprint_ratio(self):
+        base = TABLE1.with_nic(rx_buffers_per_core=1024, packet_bytes=1024)
+        scaled = base.scaled(0.25)
+        base_ratio = base.total_rx_footprint_bytes / base.llc.size_bytes
+        scaled_ratio = scaled.total_rx_footprint_bytes / scaled.llc.size_bytes
+        assert scaled_ratio == pytest.approx(base_ratio, rel=0.01)
+
+    def test_scaled_preserves_bandwidth_per_core(self):
+        base = TABLE1
+        scaled = base.scaled(0.125)
+        assert scaled.cpu.num_cores == 3
+        base_bw = base.memory.usable_bandwidth_gbps / base.cpu.num_cores
+        scaled_bw = scaled.memory.usable_bandwidth_gbps / scaled.cpu.num_cores
+        assert scaled_bw == pytest.approx(base_bw, rel=0.01)
+
+    def test_scaled_identity(self):
+        assert TABLE1.scaled(1.0) is TABLE1
+
+    def test_scaled_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            TABLE1.scaled(0.0)
+        with pytest.raises(ConfigError):
+            TABLE1.scaled(2.0)
+
+    def test_with_helpers_return_modified_copies(self):
+        s = TABLE1.with_nic(ddio_ways=4)
+        assert s.nic.ddio_ways == 4
+        assert TABLE1.nic.ddio_ways == 2
+        s2 = s.with_memory(num_channels=8)
+        assert s2.memory.num_channels == 8
+        s3 = s2.with_cpu(num_cores=12)
+        assert s3.cpu.num_cores == 12
+
+    def test_block_size_uniformity_enforced(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                l1=dataclasses.replace(TABLE1.l1, block_bytes=32, size_bytes=48 * 1024)
+            )
+
+    def test_block_bytes_constant(self):
+        assert TABLE1.block_bytes == CACHE_BLOCK_BYTES == 64

@@ -1,0 +1,111 @@
+"""Unit tests for Queue Pairs and the NIC TX engine (incl. §V-D sweep)."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.errors import ProtocolError
+from repro.mem.layout import RegionKind
+from repro.nic.ddio import DdioPolicy, DmaPolicy
+from repro.nic.qp import NicEngine, QueuePair, WorkQueueEntry
+from repro.traffic import MemCategory
+
+from tests.conftest import make_tiny_system
+
+TX = RegionKind.TX_BUFFER
+
+
+@pytest.fixture
+def hier() -> CacheHierarchy:
+    return CacheHierarchy(make_tiny_system())
+
+
+class TestWorkQueueEntry:
+    def test_transfer_length_is_bytes(self):
+        e = WorkQueueEntry(0, 1, "send", (10, 11, 12))
+        assert e.transfer_length == 192
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(ProtocolError):
+            WorkQueueEntry(0, 1, "send", ())
+
+    def test_sweep_buffer_defaults_off(self):
+        e = WorkQueueEntry(0, 1, "send", (1,))
+        assert not e.sweep_buffer
+
+
+class TestQueuePair:
+    def test_post_send_enqueues(self):
+        qp = QueuePair(qp_id=7, core=0)
+        e = qp.post_send([1, 2], dest_node=3, sweep_buffer=True)
+        assert list(qp.wq) == [e]
+        assert e.dest_node == 3
+        assert e.qp_id == 7
+        assert e.sweep_buffer
+
+    def test_poll_empty_returns_none(self):
+        assert QueuePair(qp_id=0, core=0).poll_completion() is None
+
+
+class TestNicEngine:
+    def test_transmit_reads_every_block_and_completes(self, hier):
+        qp = QueuePair(qp_id=0, core=0)
+        nic = NicEngine(hier, DdioPolicy(2))
+        for b in (10, 11):
+            hier.cpu_write(0, b, TX)
+        qp.post_send([10, 11])
+        assert nic.process(qp) == 1
+        cqe = qp.poll_completion()
+        assert cqe is not None
+        assert cqe.transfer_length == 128
+        assert not cqe.swept
+        assert nic.transmissions == 1
+
+    def test_tx_miss_reads_memory(self, hier):
+        qp = QueuePair(qp_id=0, core=0)
+        nic = NicEngine(hier, DdioPolicy(2))
+        qp.post_send([99])
+        nic.process(qp)
+        assert hier.traffic.get(MemCategory.NIC_TX_RD) == 1
+
+    def test_nic_driven_sweep_drops_buffer_without_writeback(self, hier):
+        """§V-D: SweepBuffer set -> NIC sweeps after transmission."""
+        qp = QueuePair(qp_id=0, core=0)
+        nic = NicEngine(hier, DdioPolicy(2))
+        for b in (10, 11):
+            hier.cpu_write(0, b, TX)
+        hier.traffic.reset()
+        qp.post_send([10, 11], sweep_buffer=True)
+        nic.process(qp)
+        assert not hier.resident_anywhere(0, 10)
+        assert not hier.resident_anywhere(0, 11)
+        assert hier.traffic.get(MemCategory.TX_EVCT) == 0
+        assert nic.nic_sweeps > 0
+        assert qp.poll_completion().swept
+
+    def test_without_sweep_dirty_data_stays_cached(self, hier):
+        qp = QueuePair(qp_id=0, core=0)
+        nic = NicEngine(hier, DdioPolicy(2))
+        hier.cpu_write(0, 10, TX)
+        qp.post_send([10], sweep_buffer=False)
+        nic.process(qp)
+        assert hier.resident_anywhere(0, 10)
+
+    def test_process_one_consumes_single_entry(self, hier):
+        qp = QueuePair(qp_id=0, core=0)
+        nic = NicEngine(hier, DdioPolicy(2))
+        qp.post_send([1])
+        qp.post_send([2])
+        assert nic.process_one(qp)
+        assert len(qp.wq) == 1
+        assert nic.process_one(qp)
+        assert not nic.process_one(qp)
+
+    def test_dma_policy_transmission_flushes_and_reads(self, hier):
+        qp = QueuePair(qp_id=0, core=0)
+        nic = NicEngine(hier, DmaPolicy())
+        hier.cpu_write(0, 10, TX)
+        hier.traffic.reset()
+        qp.post_send([10])
+        nic.process(qp)
+        assert hier.traffic.get(MemCategory.TX_EVCT) == 1
+        assert hier.traffic.get(MemCategory.NIC_TX_RD) == 1

@@ -1,0 +1,76 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import TABLE1
+from repro.report.tables import (
+    Table,
+    format_breakdown,
+    render_table1,
+    series_to_lines,
+)
+from repro.traffic import MemCategory
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(["a", "long_column"], title="T")
+        t.add_row("x", 1.5)
+        t.add_row("longer", 20)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "long_column" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows same width
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row(3.14159)
+        assert "3.14" in t.render()
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ConfigError):
+            t.add_row("only-one")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigError):
+            Table([])
+
+    def test_str_is_render(self):
+        t = Table(["a"])
+        t.add_row(1)
+        assert str(t) == t.render()
+
+
+class TestBreakdownFormatting:
+    def test_includes_significant_categories_only(self):
+        b = {c: 0.0 for c in MemCategory}
+        b[MemCategory.RX_EVCT] = 12.3
+        b[MemCategory.CPU_RX_RD] = 0.001
+        out = format_breakdown(b)
+        assert "RX Evct=12.30" in out
+        assert "CPU RX Rd" not in out
+
+    def test_empty_breakdown(self):
+        b = {c: 0.0 for c in MemCategory}
+        assert format_breakdown(b) == "(no memory traffic)"
+
+
+class TestTable1Rendering:
+    def test_contains_all_components(self):
+        out = render_table1(TABLE1)
+        for token in ("CPU", "L1 caches", "L2 caches", "LLC", "NoC",
+                      "Memory", "NIC"):
+            assert token in out
+
+    def test_reflects_configuration_changes(self):
+        out = render_table1(TABLE1.with_memory(num_channels=8))
+        assert "8 channels" in out
+
+
+def test_series_to_lines():
+    lines = series_to_lines("peak", [512, 1024], [10.0, 8.5])
+    assert lines == ["peak: 512=10.00  1024=8.50"]

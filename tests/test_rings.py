@@ -1,0 +1,117 @@
+"""Unit tests for RX/TX descriptor rings."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mem.layout import AddressSpace, RegionKind
+from repro.nic.rings import RxRing, TxRing, build_rings
+
+
+def make_rx(entries=4, blocks=2) -> RxRing:
+    space = AddressSpace()
+    region = space.allocate("rx", entries * blocks * 64, RegionKind.RX_BUFFER)
+    return RxRing(0, region, entries, blocks)
+
+
+class TestGeometry:
+    def test_slot_blocks_are_contiguous_and_wrap(self):
+        ring = make_rx(entries=4, blocks=2)
+        base = ring.region.start_block
+        assert list(ring.slot_blocks(0)) == [base, base + 1]
+        assert list(ring.slot_blocks(3)) == [base + 6, base + 7]
+        assert list(ring.slot_blocks(4)) == [base, base + 1]  # wraps
+
+    def test_slot_address_is_byte_address(self):
+        ring = make_rx(entries=4, blocks=2)
+        assert ring.slot_address(1) == ring.region.start + 128
+
+    def test_footprint(self):
+        ring = make_rx(entries=4, blocks=2)
+        assert ring.footprint_bytes == 4 * 2 * 64
+
+    def test_region_too_small_rejected(self):
+        space = AddressSpace()
+        region = space.allocate("rx", 64, RegionKind.RX_BUFFER)
+        with pytest.raises(ProtocolError):
+            RxRing(0, region, 4, 2)
+
+
+class TestRxFlow:
+    def test_post_consume_fifo(self):
+        ring = make_rx()
+        assert ring.post() == 0
+        assert ring.post() == 1
+        assert ring.consume() == 0
+        assert ring.consume() == 1
+
+    def test_backlog_and_free(self):
+        ring = make_rx(entries=4)
+        assert ring.backlog == 0
+        ring.post()
+        ring.post()
+        assert ring.backlog == 2
+        assert ring.free_entries == 2
+        ring.consume()
+        assert ring.backlog == 1
+
+    def test_overflow_drops(self):
+        ring = make_rx(entries=2)
+        assert ring.post() is not None
+        assert ring.post() is not None
+        assert ring.post() is None
+        assert ring.drops == 1
+        assert ring.posted == 2
+        assert ring.drop_rate() == pytest.approx(1 / 3)
+
+    def test_consume_empty_raises(self):
+        ring = make_rx()
+        with pytest.raises(ProtocolError):
+            ring.consume()
+
+    def test_drop_rate_zero_without_attempts(self):
+        assert make_rx().drop_rate() == 0.0
+
+    def test_slot_reuse_after_wrap(self):
+        ring = make_rx(entries=2, blocks=1)
+        first = ring.post()
+        ring.consume()
+        ring.post()
+        ring.consume()
+        third = ring.post()
+        assert list(ring.slot_blocks(third)) == list(ring.slot_blocks(first))
+
+
+class TestTxRing:
+    def test_acquire_cycles_round_robin(self):
+        space = AddressSpace()
+        region = space.allocate("tx", 2 * 64, RegionKind.TX_BUFFER)
+        ring = TxRing(0, region, 2, 1)
+        s0, s1, s2 = ring.acquire(), ring.acquire(), ring.acquire()
+        assert list(ring.slot_blocks(s2)) == list(ring.slot_blocks(s0))
+        assert list(ring.slot_blocks(s1)) != list(ring.slot_blocks(s0))
+
+
+class TestBuildRings:
+    def test_one_ring_pair_per_core_with_owned_regions(self):
+        space = AddressSpace()
+        rx, tx = build_rings(space, num_cores=3, rx_entries=8, tx_entries=2,
+                             blocks_per_packet=4)
+        assert len(rx) == len(tx) == 3
+        for core in range(3):
+            assert rx[core].region.owner_core == core
+            assert rx[core].region.kind is RegionKind.RX_BUFFER
+            assert tx[core].region.kind is RegionKind.TX_BUFFER
+
+    def test_rings_do_not_overlap(self):
+        space = AddressSpace()
+        rx, tx = build_rings(space, 2, 4, 2, 2)
+        spans = [(r.region.start, r.region.end) for r in rx + tx]
+        spans.sort()
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_address_space_classifies_ring_blocks(self):
+        space = AddressSpace()
+        rx, _tx = build_rings(space, 1, 4, 2, 2)
+        block = rx[0].slot_blocks(2).start
+        assert space.kind_of_block(block) is RegionKind.RX_BUFFER

@@ -1,0 +1,274 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import ConfigError
+from repro.mem.layout import RegionKind
+from repro.params import CacheParams
+
+
+def make_cache(sets=4, ways=4, replacement="lru") -> SetAssociativeCache:
+    return SetAssociativeCache(
+        CacheParams(
+            size_bytes=sets * ways * 64,
+            ways=ways,
+            latency_cycles=1,
+            replacement=replacement,
+        )
+    )
+
+
+APP = int(RegionKind.APP)
+RX = int(RegionKind.RX_BUFFER)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert not c.access(5)
+        c.insert(5, dirty=False, kind=APP)
+        assert c.access(5)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+
+    def test_set_mapping(self):
+        c = make_cache(sets=4)
+        assert c.set_index(5) == 1
+        assert c.set_index(9) == 1
+        assert c.set_index(4) == 0
+
+    def test_write_access_sets_dirty(self):
+        c = make_cache()
+        c.insert(5, dirty=False, kind=APP)
+        assert not c.is_dirty(5)
+        c.access(5, write=True)
+        assert c.is_dirty(5)
+
+    def test_kind_tracking(self):
+        c = make_cache()
+        c.insert(3, dirty=True, kind=RX)
+        assert c.kind_of(3) is RegionKind.RX_BUFFER
+        assert c.kind_raw_of(3) == RX
+
+    def test_kind_of_missing_raises(self):
+        c = make_cache()
+        with pytest.raises(ConfigError):
+            c.kind_of(3)
+        with pytest.raises(ConfigError):
+            c.is_dirty(3)
+
+    def test_occupancy(self):
+        c = make_cache(sets=2, ways=2)
+        assert c.occupancy() == 0
+        c.insert(0, dirty=False, kind=APP)
+        c.insert(1, dirty=True, kind=RX)
+        assert c.occupancy() == 2
+        by_kind = c.occupancy_by_kind()
+        assert by_kind[RegionKind.APP] == 1
+        assert by_kind[RegionKind.RX_BUFFER] == 1
+        assert set(c.resident_blocks()) == {0, 1}
+
+
+class TestLruReplacement:
+    def test_evicts_least_recently_used(self):
+        c = make_cache(sets=1, ways=2)
+        c.insert(0, dirty=False, kind=APP)
+        c.insert(1, dirty=False, kind=APP)
+        c.access(0)  # 1 is now LRU
+        evicted = c.insert(2, dirty=False, kind=APP)
+        assert evicted is not None
+        assert evicted.block == 1
+
+    def test_insert_prefers_invalid_way(self):
+        c = make_cache(sets=1, ways=4)
+        c.insert(0, dirty=True, kind=APP)
+        for b in (1, 2, 3):
+            assert c.insert(b, dirty=False, kind=APP) is None
+
+    def test_eviction_reports_dirty_and_kind(self):
+        c = make_cache(sets=1, ways=1)
+        c.insert(0, dirty=True, kind=RX)
+        evicted = c.insert(1, dirty=False, kind=APP)
+        assert evicted.block == 0
+        assert evicted.dirty
+        assert evicted.kind == RX
+        assert c.stats.evictions_dirty == 1
+
+    def test_in_place_insert_ors_dirty(self):
+        c = make_cache(sets=1, ways=2)
+        c.insert(0, dirty=True, kind=RX)
+        assert c.insert(0, dirty=False, kind=RX) is None
+        assert c.is_dirty(0)
+        c2 = make_cache(sets=1, ways=2)
+        c2.insert(0, dirty=False, kind=APP)
+        c2.insert(0, dirty=True, kind=APP)
+        assert c2.is_dirty(0)
+
+    def test_in_place_insert_ignores_way_mask(self):
+        """A hardware fill hits the existing line wherever it lives."""
+        c = make_cache(sets=1, ways=4)
+        c.insert(0, dirty=False, kind=APP, way_mask=(3,))
+        assert c.way_of(0) == 3
+        assert c.insert(0, dirty=True, kind=APP, way_mask=(0,)) is None
+        assert c.way_of(0) == 3
+
+
+class TestWayMasks:
+    def test_insert_confined_to_mask(self):
+        c = make_cache(sets=1, ways=4)
+        for b in range(8):
+            c.insert(b, dirty=False, kind=APP, way_mask=(0, 1))
+        resident = c.resident_blocks()
+        assert len(resident) == 2
+        for b in resident:
+            assert c.way_of(b) in (0, 1)
+
+    def test_lookup_ignores_mask(self):
+        c = make_cache(sets=1, ways=4)
+        c.insert(0, dirty=False, kind=APP, way_mask=(3,))
+        assert c.access(0)
+
+    def test_empty_mask_raises(self):
+        c = make_cache(sets=1, ways=2)
+        with pytest.raises(ConfigError):
+            c.insert(0, dirty=False, kind=APP, way_mask=())
+
+    def test_disjoint_masks_partition_capacity(self):
+        c = make_cache(sets=1, ways=4)
+        for b in range(0, 10, 2):
+            c.insert(b, dirty=False, kind=RX, way_mask=(0, 1))
+        for b in range(1, 11, 2):
+            c.insert(b, dirty=False, kind=APP, way_mask=(2, 3))
+        kinds = c.occupancy_by_kind()
+        assert kinds[RegionKind.RX_BUFFER] == 2
+        assert kinds[RegionKind.APP] == 2
+
+
+class TestRandomReplacement:
+    def test_deterministic_given_seed(self):
+        def run():
+            c = make_cache(sets=2, ways=4, replacement="random")
+            out = []
+            for b in range(40):
+                ev = c.insert(b, dirty=False, kind=APP)
+                out.append(None if ev is None else ev.block)
+            return out
+
+        assert run() == run()
+
+    def test_still_prefers_invalid_ways(self):
+        c = make_cache(sets=1, ways=4, replacement="random")
+        for b in range(4):
+            assert c.insert(b, dirty=False, kind=APP) is None
+
+    def test_thrash_survival_is_probabilistic(self):
+        """Cycling 2x capacity through a random cache leaves a mix of old
+        and new blocks, unlike LRU's strict FIFO turnover."""
+        c = make_cache(sets=8, ways=4, replacement="random")
+        for b in range(64):  # 2x capacity
+            c.insert(b, dirty=False, kind=APP)
+        resident = set(c.resident_blocks())
+        old = {b for b in resident if b < 32}
+        assert 0 < len(old) < 32
+
+
+class TestRemoveAndSweep:
+    def test_remove_returns_state(self):
+        c = make_cache()
+        c.insert(0, dirty=True, kind=RX)
+        dirty, kind = c.remove(0)
+        assert dirty and kind == RX
+        assert not c.contains(0)
+        assert c.remove(0) is None
+
+    def test_sweep_drops_without_writeback_accounting(self):
+        c = make_cache()
+        c.insert(0, dirty=True, kind=RX)
+        assert c.sweep(0)
+        assert not c.contains(0)
+        assert c.stats.sweeps == 1
+        assert c.stats.evictions_dirty == 0
+
+    def test_sweep_missing_is_noop(self):
+        c = make_cache()
+        assert not c.sweep(0)
+        assert c.stats.sweeps == 0
+
+    def test_sweep_frees_way_for_next_insert(self):
+        c = make_cache(sets=1, ways=1)
+        c.insert(0, dirty=True, kind=RX)
+        c.sweep(0)
+        evicted = c.insert(1, dirty=True, kind=RX)
+        assert evicted is None  # no eviction: the way was invalid
+
+    def test_clear(self):
+        c = make_cache()
+        c.insert(0, dirty=True, kind=APP)
+        c.clear()
+        assert c.occupancy() == 0
+        assert not c.contains(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["access", "insert", "remove", "sweep"]),
+            st.integers(0, 31),
+            st.booleans(),
+        ),
+        max_size=200,
+    )
+)
+def test_lru_cache_matches_reference_model(ops):
+    """Model-based check: dict-of-ordered-lists reference vs the cache."""
+    sets, ways = 4, 2
+    cache = make_cache(sets=sets, ways=ways, replacement="lru")
+    # reference: per set, list of (block, dirty) in LRU->MRU order
+    ref = {s: [] for s in range(sets)}
+
+    def ref_find(block):
+        s = block % sets
+        for i, (b, _d) in enumerate(ref[s]):
+            if b == block:
+                return s, i
+        return s, None
+
+    for op, block, dirty in ops:
+        s, i = ref_find(block)
+        if op == "access":
+            got = cache.access(block, write=dirty)
+            assert got == (i is not None)
+            if i is not None:
+                b, d = ref[s].pop(i)
+                ref[s].append((b, d or dirty))
+        elif op == "insert":
+            cache.insert(block, dirty=dirty, kind=APP)
+            if i is not None:
+                b, d = ref[s].pop(i)
+                ref[s].append((b, d or dirty))
+            else:
+                if len(ref[s]) >= ways:
+                    ref[s].pop(0)
+                ref[s].append((block, dirty))
+        elif op == "remove":
+            got = cache.remove(block)
+            if i is None:
+                assert got is None
+            else:
+                b, d = ref[s].pop(i)
+                assert got == (d, APP)
+        elif op == "sweep":
+            got = cache.sweep(block)
+            assert got == (i is not None)
+            if i is not None:
+                ref[s].pop(i)
+
+    for s in range(sets):
+        for b, d in ref[s]:
+            assert cache.contains(b)
+            assert cache.is_dirty(b) == d
+    assert cache.occupancy() == sum(len(v) for v in ref.values())

@@ -1,0 +1,216 @@
+"""Tests for the DPDK-style stack: mbuf lifecycle, mempool, dataplane."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ProtocolError
+from repro.mem.layout import AddressSpace
+from repro.stack.dataplane import Dataplane, DataplaneConfig
+from repro.stack.mbuf import Mbuf, MbufState
+from repro.stack.mempool import Mempool
+from repro.traffic import MemCategory
+
+from tests.conftest import make_tiny_system
+
+
+def make_mbuf(size=256) -> Mbuf:
+    return Mbuf(index=0, address=4096, size=size)
+
+
+class TestMbufLifecycle:
+    def test_happy_path(self):
+        m = make_mbuf()
+        m.give_to_nic()
+        m.nic_deliver(200)
+        assert m.state is MbufState.APP_OWNED
+        blocks = m.app_read()
+        assert len(blocks) == 4  # ceil(200/64)
+        m.relinquish()
+        m.recycle(require_relinquish=True)
+        assert m.state is MbufState.FREE
+        assert m.generation == 1
+
+    def test_multiple_reads_before_relinquish_allowed(self):
+        """§V-C: relinquish marks the *last* use, not the only one."""
+        m = make_mbuf()
+        m.give_to_nic()
+        m.nic_deliver(64)
+        m.app_read()
+        m.app_read()
+        assert m.reads == 2
+        m.relinquish()
+
+    def test_read_after_relinquish_is_undefined_behaviour(self):
+        m = make_mbuf()
+        m.give_to_nic()
+        m.nic_deliver(64)
+        m.relinquish()
+        with pytest.raises(ProtocolError, match="use-after-free"):
+            m.app_read()
+
+    def test_recycle_without_relinquish_rejected_when_required(self):
+        m = make_mbuf()
+        m.give_to_nic()
+        m.nic_deliver(64)
+        with pytest.raises(ProtocolError, match="race"):
+            m.recycle(require_relinquish=True)
+
+    def test_baseline_stack_recycles_without_relinquish(self):
+        m = make_mbuf()
+        m.give_to_nic()
+        m.nic_deliver(64)
+        m.recycle(require_relinquish=False)
+        assert m.state is MbufState.FREE
+
+    def test_oversized_packet_rejected(self):
+        m = make_mbuf(size=128)
+        m.give_to_nic()
+        with pytest.raises(ProtocolError):
+            m.nic_deliver(256)
+
+    def test_deliver_requires_nic_ownership(self):
+        with pytest.raises(ProtocolError):
+            make_mbuf().nic_deliver(64)
+
+    def test_unaligned_mbuf_rejected(self):
+        with pytest.raises(ProtocolError):
+            Mbuf(index=0, address=100, size=256)
+
+
+class TestMempool:
+    def make(self, capacity=4) -> Mempool:
+        return Mempool(AddressSpace(), "pool", capacity, 256)
+
+    def test_alloc_until_exhaustion(self):
+        pool = self.make(capacity=2)
+        assert pool.alloc() is not None
+        assert pool.alloc() is not None
+        assert pool.alloc() is None
+        assert pool.available == 0
+        assert pool.in_flight == 2
+
+    def test_free_returns_to_pool(self):
+        pool = self.make()
+        m = pool.alloc()
+        m.give_to_nic()
+        m.nic_deliver(64)
+        pool.free(m)
+        assert pool.available == pool.capacity
+        assert m.state is MbufState.FREE
+
+    def test_foreign_mbuf_rejected(self):
+        pool = self.make()
+        other = Mbuf(index=0, address=1 << 20, size=256)
+        with pytest.raises(ProtocolError):
+            pool.free(other)
+
+    def test_buffers_are_disjoint_and_inside_region(self):
+        pool = self.make(capacity=8)
+        seen = set()
+        for i in range(8):
+            blocks = set(pool.mbuf(i).blocks)
+            assert not blocks & seen
+            seen |= blocks
+            assert all(pool.region.contains_block(b) for b in blocks)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Mempool(AddressSpace(), "p", 0, 256)
+        with pytest.raises(ConfigError):
+            Mempool(AddressSpace(), "p", 4, 100)
+
+
+class TestDataplane:
+    def make(self, sweeper=True, pool=64, policy="ddio") -> Dataplane:
+        system = make_tiny_system()
+        return Dataplane(
+            system,
+            DataplaneConfig(
+                burst_size=8,
+                pool_capacity=pool,
+                packet_bytes=256,
+                sweeper_enabled=sweeper,
+                policy=policy,
+            ),
+        )
+
+    def test_receive_process_recycle_loop(self):
+        dp = self.make()
+        handled = dp.run(100)
+        assert handled == 100
+        assert dp.stats.delivered == 100
+        assert dp.stats.relinquished == 100
+        assert dp.stats.recycled == 100
+        assert dp.pool.available == dp.pool.capacity
+
+    def test_pool_exhaustion_drops(self):
+        dp = self.make(pool=8)
+        dropped = dp.nic_receive(12)
+        assert dropped == 4
+        assert dp.drops == 4
+
+    def test_rx_burst_respects_limit(self):
+        dp = self.make()
+        dp.nic_receive(20)
+        burst = dp.rx_burst()
+        assert len(burst) == 8
+        assert len(dp.rx_burst(4)) == 4
+
+    def test_sweeper_stack_produces_no_consumed_evictions(self):
+        dp = self.make(sweeper=True, pool=64)
+        dp.run(3000)
+        per = dp.hier.traffic.get(MemCategory.RX_EVCT)
+        assert per == 0 or per / 3000 < 0.05
+
+    def test_baseline_stack_leaks(self):
+        dp = self.make(sweeper=False, pool=64)
+        dp.run(3000)
+        assert dp.hier.traffic.get(MemCategory.RX_EVCT) / 3000 > 0.5
+
+    def test_reply_posts_and_nic_reads(self):
+        dp = self.make()
+        dp.nic_receive(1)
+        mbuf = dp.rx_burst()[0] if False else dp.rx_burst(1).mbufs[0]
+        dp.read_packet(mbuf)
+        dp.reply(mbuf, 64)
+        assert dp.nic.transmissions == 1
+        dp.recycle(mbuf)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DataplaneConfig(burst_size=0)
+        dp = self.make()
+        with pytest.raises(ConfigError):
+            dp.rx_burst(0)
+        dp.nic_receive(1)
+        m = dp.rx_burst(1).mbufs[0]
+        with pytest.raises(ConfigError):
+            dp.reply(m, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.sampled_from(["deliver", "read", "relinquish", "recycle"]),
+        max_size=30,
+    )
+)
+def test_mbuf_lifecycle_never_corrupts_state(ops):
+    """Property: arbitrary op sequences either follow the lifecycle or
+    raise ProtocolError; the mbuf never enters an undefined state."""
+    m = make_mbuf()
+    for op in ops:
+        try:
+            if op == "deliver":
+                m.give_to_nic()
+                m.nic_deliver(64)
+            elif op == "read":
+                m.app_read()
+            elif op == "relinquish":
+                m.relinquish()
+            elif op == "recycle":
+                m.recycle(require_relinquish=True)
+        except ProtocolError:
+            pass
+        assert m.state in MbufState

@@ -1,0 +1,100 @@
+"""Unit tests for the Sweeper relinquish/clsweep API."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.api import Sweeper
+from repro.errors import ConfigError, SweepPermissionError
+from repro.mem.layout import RegionKind
+from repro.params import CACHE_BLOCK_BYTES
+
+from tests.conftest import make_tiny_system
+
+RX = RegionKind.RX_BUFFER
+
+
+@pytest.fixture
+def hier() -> CacheHierarchy:
+    return CacheHierarchy(make_tiny_system())
+
+
+class TestRelinquish:
+    def test_sweeps_every_block_of_the_buffer(self, hier):
+        sweeper = Sweeper(hier)
+        for b in range(16, 20):
+            hier.nic_llc_write(0, b, RX)
+        issued = sweeper.relinquish(0, 16 * CACHE_BLOCK_BYTES, 4 * CACHE_BLOCK_BYTES)
+        assert issued == 4
+        for b in range(16, 20):
+            assert not hier.llc.contains(b)
+
+    def test_unaligned_range_covers_all_touched_blocks(self, hier):
+        sweeper = Sweeper(hier)
+        # 100..300 touches blocks 1..4
+        issued = sweeper.relinquish(0, 100, 200)
+        assert issued == 4
+        assert sweeper.stats.clsweep_instructions == 4
+
+    def test_single_byte_is_one_clsweep(self, hier):
+        sweeper = Sweeper(hier)
+        assert sweeper.relinquish(0, 64, 1) == 1
+
+    def test_relinquish_blocks_hot_path(self, hier):
+        sweeper = Sweeper(hier)
+        for b in range(8, 12):
+            hier.nic_llc_write(0, b, RX)
+        assert sweeper.relinquish_blocks(0, range(8, 12)) == 4
+        assert sweeper.stats.relinquish_calls == 1
+        assert sweeper.stats.lines_dropped == 4
+
+    def test_validation(self, hier):
+        sweeper = Sweeper(hier)
+        with pytest.raises(ConfigError):
+            sweeper.relinquish(0, 0, 0)
+        with pytest.raises(ConfigError):
+            sweeper.relinquish(0, -64, 64)
+
+    @given(st.integers(0, 10_000), st.integers(1, 4096))
+    @settings(max_examples=60, deadline=None)
+    def test_clsweep_count_covers_exact_block_span(self, address, size):
+        hier = CacheHierarchy(make_tiny_system())
+        sweeper = Sweeper(hier)
+        issued = sweeper.relinquish(0, address, size)
+        first = address // CACHE_BLOCK_BYTES
+        last = (address + size - 1) // CACHE_BLOCK_BYTES
+        assert issued == last - first + 1
+
+
+class TestDisabled:
+    def test_disabled_sweeper_is_noop(self, hier):
+        sweeper = Sweeper(hier, enabled=False)
+        hier.nic_llc_write(0, 5, RX)
+        assert sweeper.relinquish(0, 5 * 64, 64) == 0
+        assert sweeper.relinquish_blocks(0, range(5, 6)) == 0
+        assert hier.llc.contains(5)
+        assert sweeper.stats.clsweep_instructions == 0
+
+    def test_disabled_clsweep_returns_zero(self, hier):
+        assert Sweeper(hier, enabled=False).clsweep(0, 5) == 0
+
+
+class TestPermission:
+    def test_clsweep_requires_syscall_when_enforced(self, hier):
+        sweeper = Sweeper(hier, require_permission=True)
+        assert not sweeper.permission_granted
+        with pytest.raises(SweepPermissionError):
+            sweeper.clsweep(0, 5)
+        sweeper.grant_permission()
+        sweeper.clsweep(0, 5)  # no longer raises
+
+    def test_permission_not_required_by_default(self, hier):
+        assert Sweeper(hier).permission_granted
+
+    def test_stats_reset(self, hier):
+        sweeper = Sweeper(hier)
+        sweeper.relinquish(0, 0, 256)
+        sweeper.stats.reset()
+        assert sweeper.stats.clsweep_instructions == 0
+        assert sweeper.stats.relinquish_calls == 0

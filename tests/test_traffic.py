@@ -1,0 +1,115 @@
+"""Unit tests for traffic categories and counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.layout import RegionKind
+from repro.traffic import (
+    CPU_READ_CATEGORY,
+    EVICT_CATEGORY,
+    MemCategory,
+    TrafficCounter,
+)
+
+
+class TestCategories:
+    def test_eight_categories(self):
+        assert len(list(MemCategory)) == 8
+
+    def test_labels_match_paper_legend(self):
+        assert MemCategory.NIC_RX_WR.label == "NIC RX Wr"
+        assert MemCategory.CPU_TX_RDWR.label == "CPU TX Rd/Wr"
+        assert MemCategory.RX_EVCT.label == "RX Evct"
+        assert MemCategory.OTHER_EVCT.label == "Other Evct"
+
+    def test_read_write_split(self):
+        reads = {c for c in MemCategory if c.is_read}
+        assert reads == {
+            MemCategory.NIC_TX_RD,
+            MemCategory.CPU_RX_RD,
+            MemCategory.CPU_TX_RDWR,
+            MemCategory.CPU_OTHER_RD,
+        }
+
+    def test_evict_category_mapping(self):
+        assert EVICT_CATEGORY[RegionKind.RX_BUFFER] is MemCategory.RX_EVCT
+        assert EVICT_CATEGORY[RegionKind.TX_BUFFER] is MemCategory.TX_EVCT
+        assert EVICT_CATEGORY[RegionKind.APP] is MemCategory.OTHER_EVCT
+
+    def test_evict_category_accepts_raw_ints(self):
+        """Hot paths index with raw ints; IntEnum keys must match."""
+        assert EVICT_CATEGORY[0] is MemCategory.RX_EVCT
+        assert CPU_READ_CATEGORY[2] is MemCategory.CPU_OTHER_RD
+
+
+class TestTrafficCounter:
+    def test_record_and_totals(self):
+        t = TrafficCounter()
+        t.record(MemCategory.RX_EVCT, 3)
+        t.record(MemCategory.CPU_RX_RD, 2)
+        assert t.total() == 5
+        assert t.total_reads() == 2
+        assert t.total_writes() == 3
+        assert t.total_bytes() == 5 * 64
+
+    def test_rejects_negative(self):
+        t = TrafficCounter()
+        with pytest.raises(ConfigError):
+            t.record(MemCategory.RX_EVCT, -1)
+
+    def test_snapshot_diff(self):
+        t = TrafficCounter()
+        t.record(MemCategory.RX_EVCT, 2)
+        snap = t.snapshot()
+        t.record(MemCategory.RX_EVCT, 5)
+        t.record(MemCategory.NIC_RX_WR, 1)
+        d = t.diff(snap)
+        assert d.get(MemCategory.RX_EVCT) == 5
+        assert d.get(MemCategory.NIC_RX_WR) == 1
+
+    def test_diff_rejects_newer_snapshot(self):
+        t = TrafficCounter()
+        snap = {MemCategory.RX_EVCT: 10}
+        with pytest.raises(ConfigError):
+            t.diff(snap)
+
+    def test_scaled(self):
+        t = TrafficCounter()
+        t.record(MemCategory.TX_EVCT, 10)
+        per_req = t.scaled(4)
+        assert per_req[MemCategory.TX_EVCT] == pytest.approx(2.5)
+        with pytest.raises(ConfigError):
+            t.scaled(0)
+
+    def test_merged(self):
+        a = TrafficCounter()
+        b = TrafficCounter()
+        a.record(MemCategory.RX_EVCT, 1)
+        b.record(MemCategory.RX_EVCT, 2)
+        b.record(MemCategory.NIC_TX_RD, 3)
+        m = a.merged(b)
+        assert m.get(MemCategory.RX_EVCT) == 3
+        assert m.get(MemCategory.NIC_TX_RD) == 3
+        # originals untouched
+        assert a.get(MemCategory.RX_EVCT) == 1
+
+    def test_reset(self):
+        t = TrafficCounter()
+        t.record(MemCategory.RX_EVCT, 7)
+        t.reset()
+        assert t.total() == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(list(MemCategory)), st.integers(0, 100)),
+            max_size=50,
+        )
+    )
+    def test_total_is_sum_of_records(self, records):
+        t = TrafficCounter()
+        for cat, n in records:
+            t.record(cat, n)
+        assert t.total() == sum(n for _, n in records)
+        assert t.total() == t.total_reads() + t.total_writes()

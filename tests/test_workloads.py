@@ -1,0 +1,245 @@
+"""Unit tests for the KVS, L3fwd, X-Mem, and spiky workload models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.layout import AddressSpace, RegionKind
+from repro.params import MiB
+from repro.workloads.kvs import KvsParams, KvsWorkload
+from repro.workloads.l3fwd import L3fwdParams, L3fwdWorkload
+from repro.workloads.spiky import SpikyKvsWorkload
+from repro.workloads.xmem import XMemParams, XMemWorkload
+
+from tests.conftest import make_tiny_kvs
+
+
+def built(workload, cores=2, seed=0):
+    space = AddressSpace()
+    workload.build(space, cores, rng=np.random.default_rng(seed))
+    return space, workload
+
+
+class TestKvsParams:
+    def test_paper_defaults(self):
+        p = KvsParams()
+        assert p.num_keys == 2_400_000
+        assert p.num_buckets == 1_000_000
+        assert p.log_bytes == 256 * MiB
+        assert p.get_fraction == 0.05
+        assert p.zipf_skew == 0.99
+
+    def test_item_blocks(self):
+        assert KvsParams(item_bytes=1024).item_blocks == 16
+        assert KvsParams(item_bytes=512).item_blocks == 8
+
+    def test_scaled_shrinks_dataset(self):
+        p = KvsParams().scaled(0.125)
+        assert p.num_keys == 300_000
+        assert p.log_bytes == 32 * MiB
+        assert p.item_bytes == 1024  # item size does not scale
+
+    def test_scaled_validation(self):
+        with pytest.raises(ConfigError):
+            KvsParams().scaled(0)
+
+    def test_rejects_log_smaller_than_item(self):
+        with pytest.raises(ConfigError):
+            KvsParams(item_bytes=1024, log_bytes=512)
+
+
+class TestKvsWorkload:
+    def test_request_before_build_raises(self):
+        with pytest.raises(ConfigError):
+            make_tiny_kvs().request(0)
+
+    def test_regions_allocated(self):
+        space, _ = built(make_tiny_kvs())
+        assert space.region("kvs_buckets").kind is RegionKind.APP
+        assert space.region("kvs_log").kind is RegionKind.APP
+
+    def test_every_request_probes_one_bucket(self):
+        space, wl = built(make_tiny_kvs())
+        buckets = space.region("kvs_buckets")
+        for _ in range(50):
+            ops = wl.request(0)
+            assert buckets.contains_block(ops.app_reads[0])
+
+    def test_get_reads_item_and_responds_with_item(self):
+        space, wl = built(
+            KvsWorkload(
+                KvsParams(num_keys=512, num_buckets=128, log_bytes=1 << 20,
+                          item_bytes=256, get_fraction=1.0)
+            )
+        )
+        log = space.region("kvs_log")
+        ops = wl.request(0)
+        item_reads = ops.app_reads[1:]
+        assert len(item_reads) == 4
+        assert all(log.contains_block(b) for b in item_reads)
+        assert ops.response_blocks == 4
+        assert not ops.app_writes
+
+    def test_set_writes_item_and_acks_one_block(self):
+        space, wl = built(
+            KvsWorkload(
+                KvsParams(num_keys=512, num_buckets=128, log_bytes=1 << 20,
+                          item_bytes=256, get_fraction=0.0)
+            )
+        )
+        log = space.region("kvs_log")
+        ops = wl.request(0)
+        assert len(ops.app_writes) == 4
+        assert all(log.contains_block(b) for b in ops.app_writes)
+        assert ops.response_blocks == 1
+
+    def test_in_place_update_rewrites_same_blocks(self):
+        wl = KvsWorkload(
+            KvsParams(num_keys=4, num_buckets=4, log_bytes=1 << 16,
+                      item_bytes=256, get_fraction=0.0, zipf_skew=0.0,
+                      update_in_place=True)
+        )
+        built(wl)
+        seen = {}
+        for _ in range(100):
+            ops = wl.request(0)
+            key_blocks = tuple(ops.app_writes)
+            seen.setdefault(key_blocks, 0)
+            seen[key_blocks] += 1
+        assert len(seen) <= 4  # one block set per key, reused forever
+
+    def test_append_mode_advances_log_head(self):
+        wl = KvsWorkload(
+            KvsParams(num_keys=64, num_buckets=16, log_bytes=1 << 16,
+                      item_bytes=256, get_fraction=0.0,
+                      update_in_place=False)
+        )
+        built(wl)
+        a = wl.request(0).app_writes
+        b = wl.request(0).app_writes
+        assert a != b
+        assert b[0] == a[-1] + 1  # consecutive appends
+
+    def test_append_mode_wraps_circularly(self):
+        wl = KvsWorkload(
+            KvsParams(num_keys=64, num_buckets=16, log_bytes=1 << 12,
+                      item_bytes=256, get_fraction=0.0,
+                      update_in_place=False)
+        )
+        space, _ = built(wl)
+        log = space.region("kvs_log")
+        blocks = []
+        for _ in range(64):  # far more than the 16-item log holds
+            blocks.extend(wl.request(0).app_writes)
+        assert all(log.contains_block(b) for b in blocks)
+
+    def test_get_set_mix_tracks_fraction(self):
+        wl = KvsWorkload(
+            KvsParams(num_keys=512, num_buckets=128, log_bytes=1 << 20,
+                      item_bytes=256, get_fraction=0.05)
+        )
+        built(wl)
+        for _ in range(4000):
+            wl.request(0)
+        frac = wl.gets / (wl.gets + wl.sets)
+        assert frac == pytest.approx(0.05, abs=0.02)
+
+    def test_request_cycles_positive(self):
+        wl = make_tiny_kvs()
+        built(wl)
+        ops = wl.request(0)
+        assert wl.request_cycles(ops, packet_blocks=4) > wl.base_cycles
+
+
+class TestL3fwd:
+    def test_table_sized_from_rules(self):
+        p = L3fwdParams(num_rules=16384, rule_bytes=64)
+        assert p.table_bytes == 16384 * 64
+
+    def test_l1_resident_variant_shrinks(self):
+        p = L3fwdParams().l1_resident()
+        assert p.num_rules == 128
+        assert p.table_bytes <= 16 * 1024
+
+    def test_lookups_fall_in_table(self):
+        wl = L3fwdWorkload(L3fwdParams(num_rules=512, packet_blocks=4))
+        space, _ = built(wl)
+        table = space.region("l3fwd_table")
+        for _ in range(200):
+            ops = wl.request(0)
+            assert all(table.contains_block(b) for b in ops.app_reads)
+            assert len(ops.app_reads) == 2
+
+    def test_copy_mode_response_is_full_packet(self):
+        wl = L3fwdWorkload(L3fwdParams(packet_blocks=16, zero_copy=False))
+        built(wl)
+        assert wl.request(0).response_blocks == 16
+
+    def test_zero_copy_mode_has_no_tx_copy(self):
+        wl = L3fwdWorkload(L3fwdParams(packet_blocks=16, zero_copy=True))
+        built(wl)
+        assert wl.request(0).response_blocks == 0
+
+    def test_request_before_build_raises(self):
+        with pytest.raises(ConfigError):
+            L3fwdWorkload().request(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            L3fwdParams(num_rules=0)
+        with pytest.raises(ConfigError):
+            L3fwdParams(packet_blocks=0)
+
+
+class TestXMem:
+    def test_accesses_confined_to_private_region(self):
+        wl = XMemWorkload(XMemParams(dataset_bytes=1 << 16))
+        space = AddressSpace()
+        wl.build(space, cores=[0, 1], rng=np.random.default_rng(0))
+        r0 = space.region("xmem_dataset[0]")
+        blocks, writes = wl.accesses(0, 500)
+        assert all(r0.contains_block(int(b)) for b in blocks)
+        assert len(writes) == 500
+
+    def test_write_fraction(self):
+        wl = XMemWorkload(XMemParams(write_fraction=0.3))
+        space = AddressSpace()
+        wl.build(space, cores=[0], rng=np.random.default_rng(1))
+        _, writes = wl.accesses(0, 20000)
+        assert np.mean(writes) == pytest.approx(0.3, abs=0.02)
+
+    def test_non_xmem_core_rejected(self):
+        wl = XMemWorkload()
+        space = AddressSpace()
+        wl.build(space, cores=[1], rng=np.random.default_rng(2))
+        with pytest.raises(ConfigError):
+            wl.accesses(0, 10)
+
+    def test_access_before_build_raises(self):
+        with pytest.raises(ConfigError):
+            XMemWorkload().accesses(0, 1)
+
+    def test_paper_dataset_default(self):
+        assert XMemParams().dataset_bytes == 2 * MiB
+
+
+class TestSpikyKvs:
+    def test_spikes_occur_at_configured_rate(self):
+        wl = SpikyKvsWorkload(
+            KvsParams(num_keys=512, num_buckets=128, log_bytes=1 << 20,
+                      item_bytes=256),
+            spike_probability=0.05,
+            rng=np.random.default_rng(4),
+        )
+        delays = [wl.extra_delay_us() for _ in range(20000)]
+        nonzero = [d for d in delays if d > 0]
+        assert len(nonzero) / len(delays) == pytest.approx(0.05, rel=0.2)
+        assert all(1.0 <= d <= 100.0 for d in nonzero)
+
+    def test_mean_extra_delay(self):
+        wl = SpikyKvsWorkload(spike_probability=0.001)
+        assert wl.mean_extra_delay_us() == pytest.approx(0.001 * 50.5)
+
+    def test_plain_workload_has_no_delay(self):
+        wl = make_tiny_kvs()
+        assert wl.extra_delay_us() == 0.0

@@ -1,0 +1,83 @@
+"""Unit and property tests for the Zipf key-popularity sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.zipf import ZipfGenerator
+
+
+class TestDistribution:
+    def test_samples_within_range(self):
+        z = ZipfGenerator(100, rng=np.random.default_rng(1))
+        samples = z.sample_many(5000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_rank_probabilities_sum_to_one(self):
+        z = ZipfGenerator(50, skew=0.99)
+        total = sum(z.probability_of_rank(r) for r in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_rank_probabilities_decrease(self):
+        z = ZipfGenerator(1000, skew=0.99)
+        probs = [z.probability_of_rank(r) for r in range(10)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_empirical_matches_rank1_probability(self):
+        z = ZipfGenerator(100, skew=0.99, rng=np.random.default_rng(2),
+                          shuffle=False)
+        samples = z.sample_many(100_000)
+        empirical = np.mean(samples == 0)
+        assert empirical == pytest.approx(z.probability_of_rank(0), rel=0.05)
+
+    def test_zero_skew_is_uniform(self):
+        z = ZipfGenerator(10, skew=0.0)
+        for r in range(10):
+            assert z.probability_of_rank(r) == pytest.approx(0.1)
+
+    def test_shuffle_spreads_hot_keys(self):
+        """With shuffling, the hottest item id is (almost surely) not 0."""
+        hot_ids = set()
+        for seed in range(8):
+            z = ZipfGenerator(
+                10_000, rng=np.random.default_rng(seed), shuffle=True
+            )
+            samples = z.sample_many(2000)
+            ids, counts = np.unique(samples, return_counts=True)
+            hot_ids.add(int(ids[np.argmax(counts)]))
+        assert hot_ids != {0}
+
+    def test_sample_one_by_one_matches_batched_stream(self):
+        a = ZipfGenerator(100, rng=np.random.default_rng(7), batch_size=16)
+        singles = [a.sample() for _ in range(64)]
+        assert all(0 <= s < 100 for s in singles)
+
+    def test_determinism_given_seed(self):
+        a = ZipfGenerator(100, rng=np.random.default_rng(3))
+        b = ZipfGenerator(100, rng=np.random.default_rng(3))
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            ZipfGenerator(0)
+        with pytest.raises(ConfigError):
+            ZipfGenerator(10, skew=-1.0)
+        z = ZipfGenerator(10)
+        with pytest.raises(ConfigError):
+            z.probability_of_rank(10)
+        with pytest.raises(ConfigError):
+            z.sample_many(-1)
+
+
+@given(st.integers(2, 500), st.floats(0.0, 2.0))
+@settings(max_examples=40, deadline=None)
+def test_cdf_is_monotone_and_complete(n, skew):
+    z = ZipfGenerator(n, skew=skew)
+    probs = [z.probability_of_rank(r) for r in range(n)]
+    assert all(p > 0 for p in probs)
+    assert sum(probs) == pytest.approx(1.0)
