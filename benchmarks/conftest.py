@@ -5,10 +5,14 @@ the rows the paper reports, and archives them under ``results/``.
 
 Fidelity is environment-controlled:
 
-* ``REPRO_SCALE``   — machine scale factor (default 0.1 here: a 2-3 core
-  slice with all capacity ratios preserved; set 1.0 for the full 24-core
-  machine, at ~100x the runtime);
-* ``REPRO_MEASURE`` — multiplier on measured request counts (default 0.5).
+* ``REPRO_SCALE``   — machine scale factor (default ``DEFAULT_SCALE``
+  from ``repro.experiments.common``, the single source of truth: a 2-3
+  core slice with all capacity ratios preserved; set 1.0 for the full
+  24-core machine, at ~100x the runtime);
+* ``REPRO_MEASURE`` — multiplier on measured request counts (default 0.5);
+* ``REPRO_WORKERS`` — process count for grid fan-out (see
+  ``repro.engine.parallel``);
+* ``REPRO_NO_CACHE=1`` — bypass the persistent point-result cache.
 """
 
 from __future__ import annotations
@@ -18,14 +22,14 @@ import pathlib
 
 import pytest
 
-from repro.experiments.common import ExperimentSettings
+from repro.experiments.common import DEFAULT_SCALE, ExperimentSettings
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
-    scale = float(os.environ.get("REPRO_SCALE", 0.1))
+    scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
     measure = float(os.environ.get("REPRO_MEASURE", 0.5))
     return ExperimentSettings(scale=scale, measure_multiplier=measure)
 

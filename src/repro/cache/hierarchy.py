@@ -107,7 +107,9 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
 
     def _writeback(self, kind: int) -> None:
-        self.traffic.record(EVICT_CATEGORY[kind])
+        # Direct counter bump; TrafficCounter.record's validation is
+        # redundant for the constant blocks=1 of the eviction path.
+        self.traffic.counts[EVICT_CATEGORY[kind]] += 1
 
     def _victim_fill_llc(
         self, core: int, block: int, dirty: bool, kind: int
@@ -156,11 +158,40 @@ class CacheHierarchy:
         """
         if self.l1s[core].access(block, write=write):
             return AccessLevel.L1
+        return self._cpu_access_l1_missed(core, block, kind, write)
+
+    def cpu_access_run(
+        self,
+        core: int,
+        start: int,
+        n: int,
+        kind: RegionKind,
+        write: bool,
+        level_counts: dict,
+    ) -> None:
+        """Batched :meth:`cpu_access` over ``n`` consecutive blocks.
+
+        The L1 is probed with one batched call; only misses take the
+        per-block fill cascade. ``level_counts`` (AccessLevel -> int) is
+        updated in place with the servicing level of every block.
+        """
+        missed = self.l1s[core].access_run(start, n, write=write)
+        level_counts[AccessLevel.L1] += n - len(missed)
+        if not missed:
+            return
+        l1_missed = self._cpu_access_l1_missed
+        for block in missed:
+            level_counts[l1_missed(core, block, kind, write)] += 1
+
+    def _cpu_access_l1_missed(
+        self, core: int, block: int, kind: RegionKind, write: bool
+    ) -> AccessLevel:
+        """L2-and-below half of :meth:`cpu_access` (L1 already missed)."""
         if self.l2s[core].access(block):
             self._fill_l1(core, block, dirty=write, kind=kind)
             return AccessLevel.L2
-        if self.llc.access(block):
-            llc_kind = self.llc.kind_raw_of(block)
+        llc_kind = self.llc.access_kind(block)
+        if llc_kind is not None:
             if write:
                 # Read-for-ownership: the store takes the line exclusively;
                 # the LLC copy is invalidated and dirtiness moves up with
@@ -175,7 +206,7 @@ class CacheHierarchy:
             self._fill_l2(core, block, dirty=False, kind=llc_kind)
             self._fill_l1(core, block, dirty=write, kind=llc_kind)
             return AccessLevel.LLC
-        self.traffic.record(CPU_READ_CATEGORY[kind])
+        self.traffic.counts[CPU_READ_CATEGORY[kind]] += 1
         self._fill_l2(core, block, dirty=False, kind=kind)
         self._fill_l1(core, block, dirty=write, kind=kind)
         return AccessLevel.MEM
@@ -235,6 +266,25 @@ class CacheHierarchy:
         if evicted is not None and evicted.dirty:
             self._writeback(evicted.kind)
 
+    def nic_llc_write_run(
+        self,
+        core_hint: int,
+        blocks: Sequence[int],
+        kind: RegionKind = RegionKind.RX_BUFFER,
+    ) -> None:
+        """Batched :meth:`nic_llc_write` over one packet buffer."""
+        l1_remove = self.l1s[core_hint].remove
+        l2_remove = self.l2s[core_hint].remove
+        llc_insert = self.llc.insert
+        mask = self.ddio_way_mask
+        counts = self.traffic.counts
+        for block in blocks:
+            l1_remove(block)
+            l2_remove(block)
+            evicted = llc_insert(block, True, kind, mask)
+            if evicted is not None and evicted.dirty:
+                counts[EVICT_CATEGORY[evicted.kind]] += 1
+
     def nic_probe_read(self, core_hint: int, block: int) -> bool:
         """NIC read for packet transmission; True if serviced by a cache.
 
@@ -250,6 +300,17 @@ class CacheHierarchy:
             return True
         self.traffic.record(MemCategory.NIC_TX_RD)
         return False
+
+    def nic_probe_read_run(self, core_hint: int, blocks: Sequence[int]) -> None:
+        """Batched :meth:`nic_probe_read` over one packet buffer."""
+        l1_contains = self.l1s[core_hint].contains
+        l2_contains = self.l2s[core_hint].contains
+        llc_access = self.llc.access
+        counts = self.traffic.counts
+        for block in blocks:
+            if l1_contains(block) or l2_contains(block) or llc_access(block):
+                continue
+            counts[MemCategory.NIC_TX_RD] += 1
 
     # ------------------------------------------------------------------
     # Sweeper
@@ -268,6 +329,14 @@ class CacheHierarchy:
         if self.llc.sweep(block):
             dropped += 1
         return dropped
+
+    def sweep_run(self, core_hint: int, blocks: Sequence[int]) -> int:
+        """Batched :meth:`sweep_block` over one buffer's blocks."""
+        return (
+            self.l1s[core_hint].sweep_run(blocks)
+            + self.l2s[core_hint].sweep_run(blocks)
+            + self.llc.sweep_run(blocks)
+        )
 
     # ------------------------------------------------------------------
     # introspection

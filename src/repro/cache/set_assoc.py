@@ -13,6 +13,26 @@ hardware, where way partitioning restricts fills, not hits.
 Lines carry a :class:`~repro.mem.layout.RegionKind` so that dirty
 evictions can be attributed to RX/TX/Other traffic without an address
 lookup on the hot path.
+
+Hot-path layout
+---------------
+
+``insert``/``access`` dominate whole-simulation runtime (the per-block
+bookkeeping problem the Sweeper paper's eviction-path analysis predicts),
+so both are specialized per replacement policy once at construction:
+
+* LRU recency is the *insertion order of the per-set dict* (oldest
+  first): a hit pops and re-appends its entry, and the LRU victim of a
+  full set is ``next(iter(set_map))`` — O(1) instead of an O(ways)
+  timestamp scan.
+* Random replacement of a full set draws the victim way with a single
+  LCG step instead of reservoir-sampling one LCG step per allowed way.
+* Invalid-way scans only run while a set still has free slots
+  (``len(set_map) < ways``); steady-state full sets skip them entirely.
+
+``access_run``/``sweep_run`` batch the contiguous packet-block loops of
+the trace engine, hoisting attribute lookups and statistics updates out
+of the per-block loop.
 """
 
 from __future__ import annotations
@@ -40,7 +60,7 @@ class EvictedLine(NamedTuple):
 
 
 class SetAssociativeCache:
-    """LRU set-associative cache keyed by block address."""
+    """Set-associative cache keyed by block address (LRU or random)."""
 
     def __init__(
         self, params: CacheParams, name: str = "cache", seed: int = 0x5EED
@@ -56,13 +76,21 @@ class SetAssociativeCache:
         self._lcg = (seed * 2654435761) & 0xFFFFFFFF or 1
         n = self.num_sets * self.ways
         # Per-set tag->slot map plus flat per-slot metadata arrays. Slot
-        # index is set_index * ways + way.
+        # index is set_index * ways + way. For LRU caches the map is kept
+        # in recency order, oldest entry first.
         self._maps: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
         self._tags: List[int] = [-1] * n
         self._dirty = bytearray(n)
         self._kind = bytearray(n)
-        self._stamp: List[int] = [0] * n
-        self._clock = 1
+        # Replacement-policy specialization, chosen once per instance.
+        if self._random_replacement:
+            self.access = self._access_random
+            self.access_kind = self._access_kind_random
+            self.insert = self._insert_random
+        else:
+            self.access = self._access_lru
+            self.access_kind = self._access_kind_lru
+            self.insert = self._insert_lru
 
     # ------------------------------------------------------------------
     # queries
@@ -115,27 +143,103 @@ class SetAssociativeCache:
         return blocks
 
     # ------------------------------------------------------------------
-    # mutations
+    # probes (``access`` is bound per replacement policy in __init__)
     # ------------------------------------------------------------------
 
-    def access(self, block: int, write: bool = False) -> bool:
+    def _access_lru(self, block: int, write: bool = False) -> bool:
         """Probe for ``block``; on hit refresh LRU (and dirty if write).
 
         Returns True on hit. Records hit/miss statistics; a miss performs
         no allocation — the caller decides where the fill goes.
         """
+        m = self._maps[block % self.num_sets]
+        slot = m.pop(block, None)
+        if slot is None:
+            self.stats.misses += 1
+            return False
+        m[block] = slot
+        self.stats.hits += 1
+        if write:
+            self._dirty[slot] = 1
+        return True
+
+    def _access_random(self, block: int, write: bool = False) -> bool:
         slot = self._maps[block % self.num_sets].get(block)
         if slot is None:
             self.stats.misses += 1
             return False
         self.stats.hits += 1
-        self._stamp[slot] = self._clock
-        self._clock += 1
         if write:
             self._dirty[slot] = 1
         return True
 
-    def insert(
+    def _access_kind_lru(self, block: int, write: bool = False) -> Optional[int]:
+        """:meth:`access` fused with :meth:`kind_raw_of`.
+
+        Returns the resident line's raw kind on a hit, None on a miss;
+        statistics and LRU/dirty updates match a plain ``access`` call.
+        """
+        m = self._maps[block % self.num_sets]
+        slot = m.pop(block, None)
+        if slot is None:
+            self.stats.misses += 1
+            return None
+        m[block] = slot
+        self.stats.hits += 1
+        if write:
+            self._dirty[slot] = 1
+        return self._kind[slot]
+
+    def _access_kind_random(self, block: int, write: bool = False) -> Optional[int]:
+        slot = self._maps[block % self.num_sets].get(block)
+        if slot is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if write:
+            self._dirty[slot] = 1
+        return self._kind[slot]
+
+    def access_run(self, start: int, n: int, write: bool = False) -> List[int]:
+        """Probe ``n`` consecutive blocks; returns the missed ones.
+
+        Batched variant of :meth:`access` for contiguous packet buffers:
+        hits refresh recency/dirty state exactly as individual calls
+        would, statistics are recorded in one update, and the caller
+        resolves the returned misses.
+        """
+        num_sets = self.num_sets
+        maps = self._maps
+        dirty = self._dirty
+        missed: List[int] = []
+        append_missed = missed.append
+        if self._random_replacement:
+            for block in range(start, start + n):
+                slot = maps[block % num_sets].get(block)
+                if slot is None:
+                    append_missed(block)
+                elif write:
+                    dirty[slot] = 1
+        else:
+            for block in range(start, start + n):
+                m = maps[block % num_sets]
+                slot = m.pop(block, None)
+                if slot is None:
+                    append_missed(block)
+                    continue
+                m[block] = slot
+                if write:
+                    dirty[slot] = 1
+        stats = self.stats
+        stats.hits += n - len(missed)
+        stats.misses += len(missed)
+        return missed
+
+    # ------------------------------------------------------------------
+    # fills (``insert`` is bound per replacement policy in __init__)
+    # ------------------------------------------------------------------
+
+    def _insert_lru(
         self,
         block: int,
         dirty: bool,
@@ -143,82 +247,145 @@ class SetAssociativeCache:
         way_mask: Optional[Sequence[int]] = None,
         prefer_invalid: bool = True,
     ) -> Optional[EvictedLine]:
-        """Allocate ``block``, evicting a victim among the allowed ways.
+        """Allocate ``block``, evicting the LRU line among allowed ways.
 
         If the block is already present it is updated in place (dirty is
         OR-ed in) regardless of the mask, as a hardware fill would hit the
-        existing line. Returns the evicted line, if any. Victim choice is
-        LRU or uniform-random per the configured replacement policy.
-
-        ``prefer_invalid`` (default) takes the first invalid way before
-        considering occupied ones — how a fill engine targets its own
-        invalidated slots (e.g. the NIC reusing swept buffers). With
-        ``prefer_invalid=False`` under random replacement, the victim is
-        drawn uniformly over *all* allowed ways, so a fill only lands on
-        an invalid way proportionally — this keeps collocated tenants'
-        victim fills from vacuuming up every slot a sweep frees.
-        (LRU treats invalid ways as oldest either way.)
+        existing line. Returns the evicted line, if any. Invalid ways are
+        taken first (LRU treats them as oldest regardless of
+        ``prefer_invalid``).
         """
-        mapping = self._maps[block % self.num_sets]
-        slot = mapping.get(block)
+        ways = self.ways
+        m = self._maps[block % self.num_sets]
+        slot = m.pop(block, None)
         if slot is not None:
-            self._stamp[slot] = self._clock
-            self._clock += 1
+            m[block] = slot
             if dirty:
                 self._dirty[slot] = 1
             self._kind[slot] = kind
             return None
 
-        base = (block % self.num_sets) * self.ways
+        base = (block % self.num_sets) * ways
         tags = self._tags
-        stamps = self._stamp
-        ways = range(self.ways) if way_mask is None else way_mask
         victim_slot = -1
-        if self._random_replacement:
-            candidates = 0
-            lcg = self._lcg
-            for way in ways:
-                s = base + way
-                if prefer_invalid and tags[s] == -1:
-                    victim_slot = s
-                    break
-                # Reservoir-sample one allowed way with the LCG stream.
-                candidates += 1
-                lcg = (lcg * 1103515245 + 12345) & 0xFFFFFFFF
-                if victim_slot < 0 or lcg % candidates == 0:
-                    victim_slot = s
-            self._lcg = lcg
-        else:
-            victim_stamp = None
-            for way in ways:
-                s = base + way
-                if tags[s] == -1:
-                    victim_slot = s
-                    break
-                if victim_stamp is None or stamps[s] < victim_stamp:
-                    victim_slot = s
-                    victim_stamp = stamps[s]
+        if len(m) < ways:
+            # The set has free slots; fill the first invalid allowed way.
+            if way_mask is None:
+                victim_slot = tags.index(-1, base, base + ways)
+            else:
+                for way in way_mask:
+                    if tags[base + way] == -1:
+                        victim_slot = base + way
+                        break
         if victim_slot < 0:
-            raise ConfigError(f"{self.name}: empty way mask for insert")
+            if way_mask is None:
+                # Oldest entry of the (full) set: first key in the map.
+                victim_slot = m[next(iter(m))]
+            else:
+                # Oldest resident line among the allowed ways.
+                allowed = set(way_mask)
+                for slot in m.values():
+                    if slot - base in allowed:
+                        victim_slot = slot
+                        break
+                if victim_slot < 0:
+                    raise ConfigError(
+                        f"{self.name}: empty way mask for insert"
+                    )
 
+        # Install in victim_slot (inlined from the insert epilogue shared
+        # with _insert_random; this is the hottest code in the simulator).
+        stats = self.stats
         evicted: Optional[EvictedLine] = None
         old_tag = tags[victim_slot]
         if old_tag != -1:
             old_dirty = self._dirty[victim_slot]
-            evicted = EvictedLine(old_tag, bool(old_dirty), self._kind[victim_slot])
-            del mapping[old_tag]
+            evicted = tuple.__new__(
+                EvictedLine, (old_tag, bool(old_dirty), self._kind[victim_slot])
+            )
+            del m[old_tag]
             if old_dirty:
-                self.stats.evictions_dirty += 1
+                stats.evictions_dirty += 1
             else:
-                self.stats.evictions_clean += 1
-
-        mapping[block] = victim_slot
+                stats.evictions_clean += 1
+        m[block] = victim_slot
         tags[victim_slot] = block
         self._dirty[victim_slot] = 1 if dirty else 0
         self._kind[victim_slot] = kind
-        stamps[victim_slot] = self._clock
-        self._clock += 1
-        self.stats.insertions += 1
+        stats.insertions += 1
+        return evicted
+
+    def _insert_random(
+        self,
+        block: int,
+        dirty: bool,
+        kind: int,
+        way_mask: Optional[Sequence[int]] = None,
+        prefer_invalid: bool = True,
+    ) -> Optional[EvictedLine]:
+        """Allocate ``block``, evicting a uniform-random allowed way.
+
+        ``prefer_invalid`` (default) takes the first invalid allowed way
+        before drawing — how a fill engine targets its own invalidated
+        slots (e.g. the NIC reusing swept buffers). With
+        ``prefer_invalid=False`` the victim is drawn uniformly over *all*
+        allowed ways, so a fill only lands on an invalid way
+        proportionally — this keeps collocated tenants' victim fills from
+        vacuuming up every slot a sweep frees.
+        """
+        ways = self.ways
+        m = self._maps[block % self.num_sets]
+        slot = m.get(block)
+        if slot is not None:
+            if dirty:
+                self._dirty[slot] = 1
+            self._kind[slot] = kind
+            return None
+
+        base = (block % self.num_sets) * ways
+        tags = self._tags
+        victim_slot = -1
+        if prefer_invalid and len(m) < ways:
+            if way_mask is None:
+                victim_slot = tags.index(-1, base, base + ways)
+            else:
+                for way in way_mask:
+                    if tags[base + way] == -1:
+                        victim_slot = base + way
+                        break
+        if victim_slot < 0:
+            # A full set (or prefer_invalid=False) needs one uniform
+            # draw over the allowed ways; the LCG's upper bits decide.
+            lcg = (self._lcg * 1103515245 + 12345) & 0xFFFFFFFF
+            self._lcg = lcg
+            if way_mask is None:
+                victim_slot = base + (lcg >> 16) % ways
+            else:
+                if not way_mask:
+                    raise ConfigError(
+                        f"{self.name}: empty way mask for insert"
+                    )
+                victim_slot = base + way_mask[(lcg >> 16) % len(way_mask)]
+
+        # Install in victim_slot (same inlined epilogue as _insert_lru).
+        stats = self.stats
+        evicted: Optional[EvictedLine] = None
+        old_tag = tags[victim_slot]
+        if old_tag != -1:
+            old_dirty = self._dirty[victim_slot]
+            evicted = tuple.__new__(
+                EvictedLine, (old_tag, bool(old_dirty), self._kind[victim_slot])
+            )
+            del m[old_tag]
+            if old_dirty:
+                stats.evictions_dirty += 1
+            else:
+                stats.evictions_clean += 1
+        m[block] = victim_slot
+        tags[victim_slot] = block
+        self._dirty[victim_slot] = 1 if dirty else 0
+        self._kind[victim_slot] = kind
+        stats.insertions += 1
         return evicted
 
     def remove(self, block: int) -> Optional[Tuple[bool, int]]:
@@ -251,6 +418,28 @@ class SetAssociativeCache:
         self.stats.sweeps += 1
         return True
 
+    def sweep_run(self, blocks: Sequence[int]) -> int:
+        """Sweep every block of a buffer; returns lines dropped.
+
+        Batched variant of :meth:`sweep` for contiguous packet buffers;
+        statistics match the equivalent sequence of individual sweeps.
+        """
+        num_sets = self.num_sets
+        maps = self._maps
+        tags = self._tags
+        dirty = self._dirty
+        dropped = 0
+        for block in blocks:
+            slot = maps[block % num_sets].pop(block, None)
+            if slot is None:
+                continue
+            tags[slot] = -1
+            dirty[slot] = 0
+            dropped += 1
+        self.stats.invalidations += dropped
+        self.stats.sweeps += dropped
+        return dropped
+
     def clear(self) -> None:
         for m in self._maps:
             m.clear()
@@ -258,4 +447,3 @@ class SetAssociativeCache:
         self._tags = [-1] * n
         self._dirty = bytearray(n)
         self._kind = bytearray(n)
-        self._stamp = [0] * n

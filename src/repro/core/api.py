@@ -102,12 +102,20 @@ class Sweeper:
         return last - first + 1
 
     def relinquish_blocks(self, core: int, blocks: "range") -> int:
-        """Relinquish a pre-computed block range (hot-path variant)."""
+        """Relinquish a pre-computed block range (hot-path variant).
+
+        Semantically one clsweep per block, but executed through the
+        hierarchy's batched sweep path.
+        """
         if not self.enabled:
             return 0
-        self.stats.relinquish_calls += 1
-        count = 0
-        for block in blocks:
-            self.clsweep(core, block)
-            count += 1
+        if not self._permission_granted:
+            raise SweepPermissionError(
+                "clsweep used without the clsweep-permission syscall"
+            )
+        count = len(blocks)
+        stats = self.stats
+        stats.relinquish_calls += 1
+        stats.clsweep_instructions += count
+        stats.lines_dropped += self.hier.sweep_run(core, blocks)
         return count

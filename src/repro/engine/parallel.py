@@ -1,0 +1,201 @@
+"""Parallel execution of independent simulation points.
+
+A figure of the paper is a grid of independent trace simulations: every
+point owns its cache hierarchy, workload state, and RNG seeds, so points
+share nothing and can run in separate processes. This module provides
+the fan-out:
+
+* :class:`PointSpec` — a picklable description of one grid point (the
+  workload is shipped *pre-build*; the worker's simulator calls
+  ``build()`` with the spec's seed, which is what makes serial and
+  parallel runs bit-identical);
+* :func:`run_spec` — simulate one spec (the worker entry point);
+* :func:`run_points` — run a spec list, preserving order, across
+  ``REPRO_WORKERS`` processes (1 = deterministic serial fallback);
+* :func:`run_tasks` — the same fan-out for arbitrary picklable
+  functions (used by the collocation study, whose results are not
+  :class:`PointResult` objects).
+
+Results are memoized through :mod:`repro.engine.pointcache` unless
+``REPRO_NO_CACHE=1``. ``REPRO_PROFILE=1`` prints a cProfile top-20 per
+simulated point.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.engine import pointcache
+from repro.errors import ConfigError
+from repro.params import SystemConfig
+from repro.workloads.base import Workload
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """Everything needed to simulate one grid point in any process."""
+
+    label: str
+    system: SystemConfig
+    workload: Workload
+    policy: str = "ddio"
+    sweeper: bool = False
+    nic_tx_sweep: bool = False
+    queued_depth: int = 1
+    seed: int = 42
+    warmup_requests: Optional[int] = None
+    measure_requests: Optional[int] = None
+
+    def cache_key(self) -> str:
+        """Deterministic identity of the simulation's inputs.
+
+        The label is presentation-only and deliberately excluded;
+        :func:`run_cached_spec` re-stamps it on cache hits.
+        """
+        return "\n".join(
+            (
+                repr(self.system),
+                self.workload.cache_key(),
+                self.policy,
+                repr(
+                    (
+                        self.sweeper,
+                        self.nic_tx_sweep,
+                        self.queued_depth,
+                        self.seed,
+                        self.warmup_requests,
+                        self.measure_requests,
+                    )
+                ),
+            )
+        )
+
+
+def run_spec(spec: PointSpec):
+    """Simulate one spec end to end; the worker-process entry point.
+
+    Must stay a module-level function so ProcessPoolExecutor can pickle
+    it. Imports are deferred to avoid a cycle with
+    ``repro.experiments.common`` (which imports this module).
+    """
+    from repro.engine.analytic import ServiceProfile, solve_peak_throughput
+    from repro.engine.tracer import TraceConfig, TraceSimulator
+    from repro.experiments.common import PointResult
+
+    cfg = TraceConfig(
+        system=spec.system,
+        workload=spec.workload,
+        policy=spec.policy,
+        sweeper=spec.sweeper,
+        nic_tx_sweep=spec.nic_tx_sweep,
+        queued_depth=spec.queued_depth,
+        seed=spec.seed,
+        warmup_requests=spec.warmup_requests,
+        measure_requests=spec.measure_requests,
+    )
+    profiling = os.environ.get("REPRO_PROFILE", "") == "1"
+    start = time.perf_counter()
+    if profiling:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        trace = TraceSimulator(cfg).run()
+        profiler.disable()
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(20)
+        print(f"[REPRO_PROFILE] point {spec.label!r}\n{buf.getvalue()}", flush=True)
+    else:
+        trace = TraceSimulator(cfg).run()
+    elapsed = time.perf_counter() - start
+    profile = ServiceProfile.from_trace(trace)
+    perf = solve_peak_throughput(profile, spec.system)
+    return PointResult(
+        label=spec.label,
+        system=spec.system,
+        trace=trace,
+        profile=profile,
+        perf=perf,
+        sim_seconds=elapsed,
+    )
+
+
+def run_cached_spec(spec: PointSpec):
+    """:func:`run_spec` through the persistent point cache."""
+    if not pointcache.cache_enabled():
+        return run_spec(spec)
+    fp = pointcache.fingerprint(spec)
+    cached = pointcache.load(fp)
+    if cached is not None:
+        cached.label = spec.label
+        cached.from_cache = True
+        return cached
+    result = run_spec(spec)
+    pointcache.store(fp, result)
+    return result
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS``, else the CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ConfigError(f"REPRO_WORKERS must be an integer, got {env!r}")
+        if workers < 1:
+            raise ConfigError("REPRO_WORKERS must be >= 1")
+        return workers
+    return max(1, os.cpu_count() or 1)
+
+
+def run_points(
+    specs: Iterable[PointSpec], max_workers: Optional[int] = None
+) -> List:
+    """Simulate every spec; results come back in spec order.
+
+    ``max_workers`` (default: :func:`default_workers`) of 1 runs
+    serially in-process, which is the deterministic reference path —
+    parallel runs produce bit-identical results because each point's
+    RNGs are seeded from its spec alone.
+    """
+    spec_list = list(specs)
+    if not spec_list:
+        return []
+    workers = max_workers if max_workers is not None else default_workers()
+    workers = min(workers, len(spec_list))
+    if workers <= 1:
+        return [run_cached_spec(spec) for spec in spec_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_cached_spec, spec_list, chunksize=1))
+
+
+def run_tasks(
+    fn: Callable[..., T],
+    args_list: Sequence[Tuple],
+    max_workers: Optional[int] = None,
+) -> List[T]:
+    """Fan out ``fn(*args)`` over a task list, preserving order.
+
+    ``fn`` must be a module-level (picklable) function and every args
+    tuple picklable. Not point-cached — use :func:`run_points` for
+    standard grid points.
+    """
+    tasks = list(args_list)
+    if not tasks:
+        return []
+    workers = max_workers if max_workers is not None else default_workers()
+    workers = min(workers, len(tasks))
+    if workers <= 1:
+        return [fn(*args) for args in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, *args) for args in tasks]
+        return [f.result() for f in futures]

@@ -1,0 +1,104 @@
+"""Persistent content-addressed cache of simulated point results.
+
+Re-running a figure grid after editing only rendering or analysis code
+used to re-simulate every point from scratch. This module memoizes
+:class:`~repro.experiments.common.PointResult` objects on disk, keyed by
+a fingerprint of everything that determines the simulation's output:
+
+* the full system configuration (``repr`` of the frozen dataclass tree),
+* the workload's :meth:`~repro.workloads.base.Workload.cache_key`,
+* the injection policy, Sweeper switches, queue depth, seed, and the
+  resolved warmup/measure request counts,
+* a *code-version salt* — a hash over every ``.py`` file of the
+  ``repro`` package — so any source change invalidates all entries.
+
+Environment knobs:
+
+* ``REPRO_NO_CACHE=1`` bypasses the cache entirely (no reads, no writes);
+* ``REPRO_CACHE_DIR`` overrides the default ``results/.pointcache``.
+
+Entries are pickles written atomically (temp file + rename), so parallel
+workers racing on the same fingerprint are safe: last writer wins and
+every reader sees a complete file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+DEFAULT_CACHE_DIR = Path("results") / ".pointcache"
+
+_code_salt: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Hash of the repro package's source; computed once per process."""
+    global _code_salt
+    if _code_salt is None:
+        package_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_salt = digest.hexdigest()
+    return _code_salt
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "") != "1"
+
+
+def cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else DEFAULT_CACHE_DIR
+
+
+def fingerprint(spec: Any) -> str:
+    """Content address of a point spec (its ``cache_key`` + code salt)."""
+    digest = hashlib.sha256()
+    digest.update(code_salt().encode())
+    digest.update(b"\0")
+    digest.update(spec.cache_key().encode())
+    return digest.hexdigest()
+
+
+def _entry_path(fp: str) -> Path:
+    return cache_dir() / f"{fp}.pkl"
+
+
+def load(fp: str) -> Optional[Any]:
+    """Cached value for fingerprint ``fp``, or None.
+
+    A corrupt or unreadable entry behaves like a miss — the caller will
+    re-simulate and overwrite it.
+    """
+    path = _entry_path(fp)
+    try:
+        with path.open("rb") as f:
+            return pickle.load(f)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+
+
+def store(fp: str, value: Any) -> None:
+    """Persist ``value`` under fingerprint ``fp`` (atomic replace)."""
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, _entry_path(fp))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -131,6 +131,11 @@ class TraceSimulator:
         self._level_counts: Dict[AccessLevel, int] = {lv: 0 for lv in AccessLevel}
         self._cpu_work_cycles = 0.0
         self._packet_blocks = system.nic.blocks_per_packet
+        # Policies are stateless, so the fixed service level per region
+        # kind (ideal-DDIO's side cache) is resolved once up front.
+        self._buffer_level: Dict[RegionKind, Optional[AccessLevel]] = {
+            kind: self.policy.cpu_buffer_level(kind) for kind in RegionKind
+        }
 
     # ------------------------------------------------------------------
     # CPU access helpers (ideal-DDIO bypass lives here)
@@ -139,10 +144,20 @@ class TraceSimulator:
     def _cpu_access(
         self, core: int, block: int, kind: RegionKind, write: bool
     ) -> None:
-        level = self.policy.cpu_buffer_level(kind)
+        level = self._buffer_level[kind]
         if level is None:
             level = self.hier.cpu_access(core, block, kind, write)
         self._level_counts[level] += 1
+
+    def _cpu_access_run(
+        self, core: int, start: int, n: int, kind: RegionKind, write: bool
+    ) -> None:
+        """Batched CPU access over ``n`` contiguous buffer blocks."""
+        level = self._buffer_level[kind]
+        if level is not None:
+            self._level_counts[level] += n
+            return
+        self.hier.cpu_access_run(core, start, n, kind, write, self._level_counts)
 
     # ------------------------------------------------------------------
     # request loop
@@ -151,12 +166,15 @@ class TraceSimulator:
     def _refill_ring(self, core: int) -> None:
         ring = self.rx_rings[core]
         need = self.backlog.refill(ring.backlog)
+        if need <= 0:
+            return
+        policy_rx_write_run = self.policy.rx_write_run
+        hier = self.hier
         for _ in range(need):
             slot = ring.post()
             if slot is None:
                 return
-            for block in ring.slot_blocks(slot):
-                self.policy.rx_write(self.hier, core, block)
+            policy_rx_write_run(hier, core, ring.slot_blocks(slot))
 
     def service_one(self, core: int) -> None:
         """Service one request on ``core`` end to end."""
@@ -168,8 +186,13 @@ class TraceSimulator:
 
         # CPU consumes the packet.
         if cfg.workload.reads_full_packet():
-            for block in rx_blocks:
-                self._cpu_access(core, block, RegionKind.RX_BUFFER, write=False)
+            self._cpu_access_run(
+                core,
+                rx_blocks.start,
+                len(rx_blocks),
+                RegionKind.RX_BUFFER,
+                write=False,
+            )
         else:
             self._cpu_access(
                 core, rx_blocks.start, RegionKind.RX_BUFFER, write=False
@@ -179,8 +202,12 @@ class TraceSimulator:
         ops = cfg.workload.request(core)
         for block in ops.app_reads:
             self._cpu_access(core, block, RegionKind.APP, write=False)
+        for start, n in ops.read_runs:
+            self._cpu_access_run(core, start, n, RegionKind.APP, write=False)
         for block in ops.app_writes:
             self._cpu_access(core, block, RegionKind.APP, write=True)
+        for start, n in ops.write_runs:
+            self._cpu_access_run(core, start, n, RegionKind.APP, write=True)
         self._cpu_work_cycles += cfg.workload.request_cycles(
             ops, self._packet_blocks
         )
@@ -194,8 +221,13 @@ class TraceSimulator:
             tx_blocks = range(
                 all_blocks.start, all_blocks.start + ops.response_blocks
             )
-            for block in tx_blocks:
-                self._cpu_access(core, block, RegionKind.TX_BUFFER, write=True)
+            self._cpu_access_run(
+                core,
+                all_blocks.start,
+                ops.response_blocks,
+                RegionKind.TX_BUFFER,
+                write=True,
+            )
             qp.post_send(
                 tx_blocks, sweep_buffer=cfg.sweeper and cfg.nic_tx_sweep
             )
@@ -245,7 +277,9 @@ class TraceSimulator:
         self.run_requests(measure)
         return TraceResult(
             requests=measure,
-            traffic=self.hier.traffic,
+            # Snapshot, not the live counter: a reused/continued simulator
+            # must not mutate an already-returned result.
+            traffic=TrafficCounter(self.hier.traffic.snapshot()),
             level_counts=dict(self._level_counts),
             cpu_work_cycles=self._cpu_work_cycles / measure,
             llc_occupancy_by_kind=self.hier.llc.occupancy_by_kind(),

@@ -4,7 +4,7 @@ Every module exposes ``run(scale=...) -> FigureResult`` returning the
 rows/series the paper figure reports, plus a rendered text form. The
 registry below maps experiment ids to runners for the CLI::
 
-    python -m repro.experiments fig5 --scale 0.125
+    python -m repro.experiments fig5 --scale 0.1
 """
 
 from repro.experiments.common import (

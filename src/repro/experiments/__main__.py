@@ -22,7 +22,7 @@ def main(argv=None) -> int:
         "--scale",
         type=float,
         default=None,
-        help="machine scale factor in (0, 1]; default from REPRO_SCALE or 0.125",
+        help="machine scale factor in (0, 1]; default from REPRO_SCALE or DEFAULT_SCALE (0.1)",
     )
     args = parser.parse_args(argv)
     ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]

@@ -6,9 +6,17 @@ and the analytic solver for peak throughput, exactly the two quantities
 every figure of the paper plots.
 
 ``ExperimentSettings.from_env`` lets benchmark runs choose fidelity:
-``REPRO_SCALE`` (machine scale factor, default 0.125 — a 3-core slice of
-the 24-core server with all capacity ratios preserved) and
-``REPRO_MEASURE`` (a multiplier on measured request counts).
+``REPRO_SCALE`` (machine scale factor, default ``DEFAULT_SCALE`` — a
+2-3 core slice of the 24-core server with all capacity ratios
+preserved) and ``REPRO_MEASURE`` (a multiplier on measured request
+counts). ``DEFAULT_SCALE`` here is the single source of truth; the
+benchmark conftest imports it.
+
+Grid execution goes through :mod:`repro.engine.parallel`: ``run_point``
+builds a picklable :class:`~repro.engine.parallel.PointSpec` and runs it
+through the persistent point cache; figure modules build whole spec
+lists and fan them out with ``run_points`` (``REPRO_WORKERS`` controls
+the process count).
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from repro.engine.analytic import (
     ServiceProfile,
     solve_peak_throughput,
 )
+from repro.engine.parallel import PointSpec, run_cached_spec, run_points
 from repro.engine.tracer import TraceConfig, TraceResult, TraceSimulator
 from repro.errors import ConfigError
 from repro.params import SystemConfig
@@ -30,7 +39,7 @@ from repro.traffic import MemCategory
 from repro.workloads.kvs import KvsParams, KvsWorkload
 from repro.workloads.l3fwd import L3fwdParams, L3fwdWorkload
 
-DEFAULT_SCALE = 0.125
+DEFAULT_SCALE = 0.1
 
 
 @dataclass(frozen=True)
@@ -59,6 +68,10 @@ class PointResult:
     trace: TraceResult
     profile: ServiceProfile
     perf: PerfPoint
+    #: wall-clock seconds the trace simulation took (0.0 for legacy pickles)
+    sim_seconds: float = 0.0
+    #: True when this result was served from the persistent point cache
+    from_cache: bool = False
 
     @property
     def throughput_mrps(self) -> float:
@@ -101,7 +114,13 @@ class FigureResult:
 
     def render(self) -> str:
         table = Table(
-            ["Configuration", "Mrps (full-scale)", "Mem BW (GB/s)", "Mem acc/req"],
+            [
+                "Configuration",
+                "Mrps (full-scale)",
+                "Mem BW (GB/s)",
+                "Mem acc/req",
+                "sim time (s)",
+            ],
             title=f"{self.figure}: {self.title} (machine scale={self.scale})",
         )
         for p in self.points:
@@ -110,6 +129,7 @@ class FigureResult:
                 p.full_scale_mrps(self.scale),
                 p.mem_bandwidth_gbps / self.scale,
                 p.trace.mem_accesses_per_request(),
+                p.sim_seconds,
             )
         lines = [table.render(), ""]
         lines.append("Per-request memory access breakdown:")
@@ -124,6 +144,46 @@ class FigureResult:
         return self.render()
 
 
+def point_spec(
+    label: str,
+    system: SystemConfig,
+    workload,
+    policy: str,
+    sweeper: bool = False,
+    queued_depth: int = 1,
+    settings: Optional[ExperimentSettings] = None,
+    nic_tx_sweep: bool = False,
+    seed: int = 42,
+) -> PointSpec:
+    """Describe one grid point as a picklable, cacheable spec.
+
+    The settings' measure-request count is resolved here so the spec is
+    self-contained (and so fidelity knobs participate in the cache
+    fingerprint).
+    """
+    settings = settings if settings is not None else ExperimentSettings()
+    cfg = TraceConfig(
+        system=system,
+        workload=workload,
+        policy=policy,
+        sweeper=sweeper,
+        nic_tx_sweep=nic_tx_sweep,
+        queued_depth=queued_depth,
+        seed=seed,
+    )
+    return PointSpec(
+        label=label,
+        system=system,
+        workload=workload,
+        policy=policy,
+        sweeper=sweeper,
+        nic_tx_sweep=nic_tx_sweep,
+        queued_depth=queued_depth,
+        seed=seed,
+        measure_requests=settings.measure_requests(cfg),
+    )
+
+
 def run_point(
     label: str,
     system: SystemConfig,
@@ -136,22 +196,18 @@ def run_point(
     seed: int = 42,
 ) -> PointResult:
     """Trace one configuration and solve its peak operating point."""
-    settings = settings if settings is not None else ExperimentSettings()
-    cfg = TraceConfig(
-        system=system,
-        workload=workload,
-        policy=policy,
-        sweeper=sweeper,
-        nic_tx_sweep=nic_tx_sweep,
-        queued_depth=queued_depth,
-        seed=seed,
-    )
-    cfg.measure_requests = settings.measure_requests(cfg)
-    trace = TraceSimulator(cfg).run()
-    profile = ServiceProfile.from_trace(trace)
-    perf = solve_peak_throughput(profile, system)
-    return PointResult(
-        label=label, system=system, trace=trace, profile=profile, perf=perf
+    return run_cached_spec(
+        point_spec(
+            label,
+            system,
+            workload,
+            policy,
+            sweeper=sweeper,
+            queued_depth=queued_depth,
+            settings=settings,
+            nic_tx_sweep=nic_tx_sweep,
+            seed=seed,
+        )
     )
 
 

@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.engine.parallel import run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
     kvs_system,
     kvs_workload,
+    point_spec,
     policy_label,
-    run_point,
 )
 
 BUFFER_SWEEP = (512, 1024, 2048)
@@ -36,6 +37,7 @@ def run(
         title="KVS throughput/bandwidth/breakdown vs RX buffer provisioning",
         scale=settings.scale,
     )
+    specs = []
     for buffers in BUFFER_SWEEP:
         configs = [("dma", 2, False)]
         configs += [("ddio", w, False) for w in DDIO_WAYS]
@@ -43,8 +45,8 @@ def run(
         for policy, ways, sweeper in configs:
             system = kvs_system(settings.scale, buffers, ways, ITEM_BYTES)
             label = f"{buffers} bufs / {policy_label(policy, ways, sweeper)}"
-            result.points.append(
-                run_point(
+            specs.append(
+                point_spec(
                     label,
                     system,
                     kvs_workload(settings.scale, ITEM_BYTES),
@@ -53,6 +55,7 @@ def run(
                     settings=settings,
                 )
             )
+    result.points.extend(run_points(specs))
     result.notes.append(
         "Expected shape: DDIO > DMA in throughput; DDIO's breakdown is "
         "dominated by RX Evct (consumed-buffer evictions) while CPU RX Rd "

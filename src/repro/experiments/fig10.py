@@ -27,11 +27,12 @@ from repro.engine.analytic import (
     service_cycles,
 )
 from repro.engine.events import FiniteRingSimulator
+from repro.engine.parallel import run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
     kvs_system,
-    run_point,
+    point_spec,
 )
 from repro.mem.dram import DramModel
 from repro.params import SystemConfig
@@ -97,12 +98,17 @@ def run(
         scale=settings.scale,
     )
 
-    peaks: Dict[Tuple[int, bool], float] = {}
-    for buffers in BUFFER_SWEEP:
-        for sweeper in (False, True):
-            system = kvs_system(settings.scale, buffers, DDIO_WAYS, PACKET_BYTES)
-            label = f"{buffers} bufs" + (" + Sweeper" if sweeper else "")
-            point = run_point(
+    grid = [
+        (buffers, sweeper)
+        for buffers in BUFFER_SWEEP
+        for sweeper in (False, True)
+    ]
+    specs = []
+    for buffers, sweeper in grid:
+        system = kvs_system(settings.scale, buffers, DDIO_WAYS, PACKET_BYTES)
+        label = f"{buffers} bufs" + (" + Sweeper" if sweeper else "")
+        specs.append(
+            point_spec(
                 label,
                 system,
                 _spiky_workload(settings.scale),
@@ -110,11 +116,15 @@ def run(
                 sweeper=sweeper,
                 settings=settings,
             )
-            result.points.append(point)
-            sim = _ring_sim(point, system, buffers)
-            peaks[(buffers, sweeper)] = sim.peak_no_drop_mrps(
-                packets_per_core=packets_per_core
-            )
+        )
+    result.points.extend(run_points(specs))
+
+    peaks: Dict[Tuple[int, bool], float] = {}
+    for (buffers, sweeper), point in zip(grid, result.points):
+        sim = _ring_sim(point, point.system, buffers)
+        peaks[(buffers, sweeper)] = sim.peak_no_drop_mrps(
+            packets_per_core=packets_per_core
+        )
     result.series["peak_no_drop_mrps"] = peaks
 
     curves: List[DropCurve] = []

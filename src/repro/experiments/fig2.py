@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.engine.parallel import run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
     kvs_system,
     l3fwd_workload,
+    point_spec,
     policy_label,
-    run_point,
 )
 
 QUEUE_DEPTHS = (50, 250, 450)
@@ -37,14 +38,15 @@ def run(
         title="L3fwd with D queued packets per core",
         scale=settings.scale,
     )
+    specs = []
     for depth in QUEUE_DEPTHS:
         configs = [("ddio", w, False) for w in DDIO_WAYS]
         configs.append(("ideal", 2, False))
         for policy, ways, sweeper in configs:
             system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
             label = f"D={depth} / {policy_label(policy, ways, sweeper)}"
-            result.points.append(
-                run_point(
+            specs.append(
+                point_spec(
                     label,
                     system,
                     l3fwd_workload(PACKET_BYTES),
@@ -54,6 +56,7 @@ def run(
                     settings=settings,
                 )
             )
+    result.points.extend(run_points(specs))
     result.notes.append(
         "Expected shape: premature evictions (CPU RX Rd) appear and grow "
         "with D, strongest at 2-way DDIO; ideal-DDIO consumes negligible "

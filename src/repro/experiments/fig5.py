@@ -11,13 +11,14 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
+from repro.engine.parallel import run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
     kvs_system,
     kvs_workload,
+    point_spec,
     policy_label,
-    run_point,
 )
 
 PACKET_SIZES = (512, 1024)
@@ -51,14 +52,15 @@ def run(
         title="DDIO ways x Sweeper across packet sizes and buffer depths",
         scale=settings.scale,
     )
+    specs = []
     for packet in packet_sizes:
         for buffers in buffer_sweep:
             for policy, ways, sweeper in configs():
                 if policy == "ddio" and ways not in ddio_ways:
                     continue
                 system = kvs_system(settings.scale, buffers, ways, packet)
-                result.points.append(
-                    run_point(
+                specs.append(
+                    point_spec(
                         point_label(packet, buffers, policy, ways, sweeper),
                         system,
                         kvs_workload(settings.scale, packet),
@@ -67,6 +69,7 @@ def run(
                         settings=settings,
                     )
                 )
+    result.points.extend(run_points(specs))
     sweeper_gains = []
     for packet in packet_sizes:
         for buffers in buffer_sweep:

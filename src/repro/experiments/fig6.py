@@ -21,13 +21,14 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.engine.analytic import bandwidth_gbps, perf_at_load
+from repro.engine.parallel import run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
     kvs_system,
     kvs_workload,
+    point_spec,
     policy_label,
-    run_point,
 )
 from repro.mem.dram import DramModel
 
@@ -75,11 +76,12 @@ def run(
         title="Memory access latency CDFs (peak and iso-throughput)",
         scale=settings.scale,
     )
+    specs = []
     for ways, sweeper in CONFIGS:
         system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
         label = policy_label("ddio", ways, sweeper)
-        result.points.append(
-            run_point(
+        specs.append(
+            point_spec(
                 label,
                 system,
                 kvs_workload(settings.scale, PACKET_BYTES),
@@ -88,6 +90,7 @@ def run(
                 settings=settings,
             )
         )
+    result.points.extend(run_points(specs))
 
     at_peak: List[LatencyCurve] = []
     iso: List[LatencyCurve] = []

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.engine.parallel import run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
     kvs_system,
     l3fwd_workload,
+    point_spec,
     policy_label,
-    run_point,
 )
 from repro.traffic import MemCategory
 
@@ -39,13 +40,14 @@ def run(
         title="Sweeper under premature buffer evictions (deep queues)",
         scale=settings.scale,
     )
+    specs = []
     for depth in QUEUE_DEPTHS:
         for ways in DDIO_WAYS:
             for sweeper in (False, True):
                 system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
                 label = f"D={depth} / {policy_label('ddio', ways, sweeper)}"
-                result.points.append(
-                    run_point(
+                specs.append(
+                    point_spec(
                         label,
                         system,
                         l3fwd_workload(PACKET_BYTES),
@@ -56,8 +58,8 @@ def run(
                     )
                 )
         system = kvs_system(settings.scale, RX_BUFFERS, 2, PACKET_BYTES)
-        result.points.append(
-            run_point(
+        specs.append(
+            point_spec(
                 f"D={depth} / Ideal DDIO",
                 system,
                 l3fwd_workload(PACKET_BYTES),
@@ -66,6 +68,7 @@ def run(
                 settings=settings,
             )
         )
+    result.points.extend(run_points(specs))
 
     gains = []
     residual_match = []

@@ -15,14 +15,15 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.engine.analytic import solve_peak_throughput
+from repro.engine.parallel import run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
     PointResult,
     kvs_system,
     kvs_workload,
+    point_spec,
     policy_label,
-    run_point,
 )
 
 SCENARIOS = ((512, 512), (1024, 512), (1024, 2048))  # (packet, buffers)
@@ -42,35 +43,47 @@ def run(
         title="Peak throughput vs memory channel provisioning",
         scale=settings.scale,
     )
+    grid = []
+    specs = []
     for packet, buffers in SCENARIOS:
         configs = [("ddio", w, s) for w in DDIO_WAYS for s in (False, True)]
         configs.append(("ideal", 2, False))
         for policy, ways, sweeper in configs:
             base_system = kvs_system(settings.scale, buffers, ways, packet)
-            base = run_point(
-                "tmp",
-                base_system,
-                kvs_workload(settings.scale, packet),
-                policy,
-                sweeper=sweeper,
-                settings=settings,
+            grid.append((packet, buffers, policy, ways, sweeper, base_system))
+            specs.append(
+                point_spec(
+                    f"{packet}B/{buffers} bufs / "
+                    f"{policy_label(policy, ways, sweeper)}",
+                    base_system,
+                    kvs_workload(settings.scale, packet),
+                    policy,
+                    sweeper=sweeper,
+                    settings=settings,
+                )
             )
-            for channels in CHANNELS:
-                system = base_system.with_memory(num_channels=channels)
-                perf = solve_peak_throughput(base.profile, system)
-                label = (
-                    f"{packet}B/{buffers} bufs / {channels}ch / "
-                    f"{policy_label(policy, ways, sweeper)}"
+    bases = run_points(specs)
+    for (packet, buffers, policy, ways, sweeper, base_system), base in zip(
+        grid, bases
+    ):
+        for channels in CHANNELS:
+            system = base_system.with_memory(num_channels=channels)
+            perf = solve_peak_throughput(base.profile, system)
+            label = (
+                f"{packet}B/{buffers} bufs / {channels}ch / "
+                f"{policy_label(policy, ways, sweeper)}"
+            )
+            result.points.append(
+                PointResult(
+                    label=label,
+                    system=system,
+                    trace=base.trace,
+                    profile=base.profile,
+                    perf=perf,
+                    sim_seconds=base.sim_seconds,
+                    from_cache=base.from_cache,
                 )
-                result.points.append(
-                    PointResult(
-                        label=label,
-                        system=system,
-                        trace=base.trace,
-                        profile=base.profile,
-                        perf=perf,
-                    )
-                )
+            )
 
     gains = {}
     for channels in CHANNELS:

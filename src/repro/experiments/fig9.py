@@ -26,6 +26,7 @@ from repro.engine.analytic import (
     ServiceProfile,
     solve_collocated,
 )
+from repro.engine.parallel import run_tasks
 from repro.engine.tracer import CollocationSimulator, TraceConfig
 from repro.experiments.common import (
     ExperimentSettings,
@@ -131,28 +132,30 @@ def run(
         scale=settings.scale,
     )
 
-    partitioned: Dict[Tuple[int, bool], CollocationPoint] = {}
+    # Every collocated point is independent, so both panels fan out
+    # through the generic task runner (_run_collocated is module-level
+    # and its arguments picklable).
     llc_ways = 12
-    for a, b in PARTITIONS_9A:
-        for sweeper in (False, True):
-            point = _run_collocated(
-                settings,
-                ddio_ways=a,
-                xmem_mask=list(range(a, llc_ways)),
-                nf_mask=list(range(a)),
-                sweeper=sweeper,
-            )
-            partitioned[(a, sweeper)] = point
-    overlapping: Dict[Tuple[int, bool], CollocationPoint] = {}
-    for ways in OVERLAP_WAYS_9B:
-        for sweeper in (False, True):
-            overlapping[(ways, sweeper)] = _run_collocated(
-                settings,
-                ddio_ways=ways,
-                xmem_mask=None,
-                nf_mask=None,
-                sweeper=sweeper,
-            )
+    part_keys = [
+        (a, sweeper) for a, _b in PARTITIONS_9A for sweeper in (False, True)
+    ]
+    part_args = [
+        (settings, a, list(range(a, llc_ways)), list(range(a)), sweeper)
+        for a, sweeper in part_keys
+    ]
+    over_keys = [
+        (ways, sweeper) for ways in OVERLAP_WAYS_9B for sweeper in (False, True)
+    ]
+    over_args = [
+        (settings, ways, None, None, sweeper) for ways, sweeper in over_keys
+    ]
+    points = run_tasks(_run_collocated, part_args + over_args)
+    partitioned: Dict[Tuple[int, bool], CollocationPoint] = dict(
+        zip(part_keys, points[: len(part_keys)])
+    )
+    overlapping: Dict[Tuple[int, bool], CollocationPoint] = dict(
+        zip(over_keys, points[len(part_keys) :])
+    )
 
     result.series["partitioned"] = partitioned
     result.series["overlapping"] = overlapping

@@ -15,13 +15,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.engine.analytic import solve_peak_throughput
+from repro.engine.parallel import run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
     kvs_system,
     kvs_workload,
+    point_spec,
     policy_label,
-    run_point,
 )
 
 PACKET_BYTES = 1024
@@ -42,23 +43,28 @@ def run(
         title="Abstract claims: bandwidth savings and throughput gains",
         scale=settings.scale,
     )
+    specs = [
+        point_spec(
+            policy_label("ddio", ways, sweeper),
+            kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES),
+            kvs_workload(settings.scale, PACKET_BYTES),
+            "ddio",
+            sweeper=sweeper,
+            settings=settings,
+        )
+        for ways in DDIO_WAYS
+        for sweeper in (False, True)
+    ]
+    result.points.extend(run_points(specs))
+
     throughput_gain = []
     bandwidth_saving = []
     for ways in DDIO_WAYS:
         base_system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
-        pair = {}
-        for sweeper in (False, True):
-            label = policy_label("ddio", ways, sweeper)
-            point = run_point(
-                label,
-                base_system,
-                kvs_workload(settings.scale, PACKET_BYTES),
-                "ddio",
-                sweeper=sweeper,
-                settings=settings,
-            )
-            result.points.append(point)
-            pair[sweeper] = point
+        pair = {
+            sweeper: result.point(policy_label("ddio", ways, sweeper))
+            for sweeper in (False, True)
+        }
         bandwidth_saving.append(
             pair[False].trace.mem_accesses_per_request()
             / pair[True].trace.mem_accesses_per_request()

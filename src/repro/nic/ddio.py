@@ -18,7 +18,7 @@ hierarchy at all:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.cache.hierarchy import AccessLevel, CacheHierarchy
 from repro.errors import ConfigError
@@ -39,6 +39,20 @@ class InjectionPolicy(abc.ABC):
     @abc.abstractmethod
     def tx_read(self, hier: CacheHierarchy, core: int, block: int) -> None:
         """NIC reads one outgoing block posted by ``core``."""
+
+    def rx_write_run(
+        self, hier: CacheHierarchy, core: int, blocks: Sequence[int]
+    ) -> None:
+        """Write one whole packet buffer (hot-path batched variant)."""
+        for block in blocks:
+            self.rx_write(hier, core, block)
+
+    def tx_read_run(
+        self, hier: CacheHierarchy, core: int, blocks: Sequence[int]
+    ) -> None:
+        """Read one whole packet buffer (hot-path batched variant)."""
+        for block in blocks:
+            self.tx_read(hier, core, block)
 
     def cpu_buffer_level(self, kind: RegionKind) -> Optional[AccessLevel]:
         """Fixed service level for CPU buffer accesses, or None.
@@ -95,6 +109,16 @@ class DdioPolicy(InjectionPolicy):
     def tx_read(self, hier: CacheHierarchy, core: int, block: int) -> None:
         hier.nic_probe_read(core, block)
 
+    def rx_write_run(
+        self, hier: CacheHierarchy, core: int, blocks: Sequence[int]
+    ) -> None:
+        hier.nic_llc_write_run(core, blocks, kind=RegionKind.RX_BUFFER)
+
+    def tx_read_run(
+        self, hier: CacheHierarchy, core: int, blocks: Sequence[int]
+    ) -> None:
+        hier.nic_probe_read_run(core, blocks)
+
 
 class IdealDdioPolicy(InjectionPolicy):
     """Infinite side LLC for network buffers; zero memory traffic."""
@@ -106,6 +130,16 @@ class IdealDdioPolicy(InjectionPolicy):
         return None
 
     def tx_read(self, hier: CacheHierarchy, core: int, block: int) -> None:
+        return None
+
+    def rx_write_run(
+        self, hier: CacheHierarchy, core: int, blocks: Sequence[int]
+    ) -> None:
+        return None
+
+    def tx_read_run(
+        self, hier: CacheHierarchy, core: int, blocks: Sequence[int]
+    ) -> None:
         return None
 
     def cpu_buffer_level(self, kind: RegionKind) -> Optional[AccessLevel]:

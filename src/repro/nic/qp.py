@@ -114,14 +114,14 @@ class NicEngine:
         return True
 
     def _transmit(self, qp: QueuePair, entry: WorkQueueEntry) -> None:
-        for block in entry.transfer_blocks:
-            self.policy.tx_read(self.hier, qp.core, block)
+        self.policy.tx_read_run(self.hier, qp.core, entry.transfer_blocks)
         swept = False
         if entry.sweep_buffer:
             # NIC-driven buffer cleaning: once the payload is on the wire
             # the buffer is dead; sweep it before releasing it for reuse.
-            for block in entry.transfer_blocks:
-                self.nic_sweeps += self.hier.sweep_block(qp.core, block)
+            self.nic_sweeps += self.hier.sweep_run(
+                qp.core, entry.transfer_blocks
+            )
             swept = True
         self.transmissions += 1
         qp.cq.append(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -23,15 +23,43 @@ from repro.mem.layout import AddressSpace
 
 @dataclass
 class RequestOps:
-    """Application-side operations of one request."""
+    """Application-side operations of one request.
+
+    Scattered accesses go in ``app_reads``/``app_writes``; contiguous
+    spans (e.g. a KVS item's blocks) go in ``read_runs``/``write_runs``
+    as ``(start_block, num_blocks)`` pairs so the engines can use their
+    batched access paths. Semantically a run is identical to listing its
+    blocks individually, in ascending order, after the scattered list.
+    """
 
     app_reads: List[int] = field(default_factory=list)
     app_writes: List[int] = field(default_factory=list)
     response_blocks: int = 1
+    read_runs: List[Tuple[int, int]] = field(default_factory=list)
+    write_runs: List[Tuple[int, int]] = field(default_factory=list)
 
     @property
     def num_app_accesses(self) -> int:
-        return len(self.app_reads) + len(self.app_writes)
+        return (
+            len(self.app_reads)
+            + len(self.app_writes)
+            + sum(n for _, n in self.read_runs)
+            + sum(n for _, n in self.write_runs)
+        )
+
+    def all_read_blocks(self) -> List[int]:
+        """Every read block, runs expanded (introspection/tests)."""
+        out = list(self.app_reads)
+        for start, n in self.read_runs:
+            out.extend(range(start, start + n))
+        return out
+
+    def all_write_blocks(self) -> List[int]:
+        """Every written block, runs expanded (introspection/tests)."""
+        out = list(self.app_writes)
+        for start, n in self.write_runs:
+            out.extend(range(start, start + n))
+        return out
 
 
 class Workload(abc.ABC):
@@ -60,6 +88,16 @@ class Workload(abc.ABC):
     def reads_full_packet(self) -> bool:
         """Whether the CPU reads every block of the incoming packet."""
         return True
+
+    def cache_key(self) -> str:
+        """Deterministic identity for persistent result caching.
+
+        Must cover everything that influences the access stream of a
+        freshly built instance. The default covers the class plus its
+        ``params`` dataclass; subclasses with extra constructor state
+        must extend it.
+        """
+        return f"{type(self).__name__}({getattr(self, 'params', None)!r})"
 
     def extra_delay_us(self) -> float:
         """Occasional extra service delay (spiky workloads override)."""

@@ -131,16 +131,15 @@ class KvsWorkload(Workload):
         self._op_pos += 1
         return is_get
 
-    def _append_to_log(self, key: int) -> range:
-        """Advance the circular log head by one item; returns its blocks."""
+    def _append_to_log(self, key: int) -> int:
+        """Advance the circular log head by one item; returns its base block."""
         p = self.params
         if self._log_head + p.item_blocks > p.log_blocks:
             self._log_head = 0
         start = self._log_head
         self._log_head += p.item_blocks
         self._key_offset[key] = start
-        base = self._log.start_block + start
-        return range(base, base + p.item_blocks)
+        return self._log.start_block + start
 
     def request(self, core: int) -> RequestOps:
         if not self._built:
@@ -148,18 +147,23 @@ class KvsWorkload(Workload):
         p = self.params
         key = self._zipf.sample()
         bucket_block = self._buckets.start_block + int(self._key_bucket[key])
-        ops = RequestOps(app_reads=[bucket_block])
+        # Item blocks are contiguous, so they travel as (start, n) runs
+        # and take the engines' batched access path.
         if self._next_is_get():
             self.gets += 1
             base = self._log.start_block + int(self._key_offset[key])
-            ops.app_reads.extend(range(base, base + p.item_blocks))
-            ops.response_blocks = p.item_blocks
+            return RequestOps(
+                app_reads=[bucket_block],
+                read_runs=[(base, p.item_blocks)],
+                response_blocks=p.item_blocks,
+            )
+        self.sets += 1
+        if p.update_in_place:
+            base = self._log.start_block + int(self._key_offset[key])
         else:
-            self.sets += 1
-            if p.update_in_place:
-                base = self._log.start_block + int(self._key_offset[key])
-                ops.app_writes.extend(range(base, base + p.item_blocks))
-            else:
-                ops.app_writes.extend(self._append_to_log(key))
-            ops.response_blocks = 1
-        return ops
+            base = self._append_to_log(key)
+        return RequestOps(
+            app_reads=[bucket_block],
+            write_runs=[(base, p.item_blocks)],
+            response_blocks=1,
+        )

@@ -38,6 +38,14 @@ class SpikyKvsWorkload(KvsWorkload):
             rng=rng if rng is not None else np.random.default_rng(23),
         )
 
+    def cache_key(self) -> str:
+        s = self._spikes
+        return (
+            f"{type(self).__name__}({self.params!r}, "
+            f"spike_probability={s.probability!r}, "
+            f"spike_low_us={s.low_us!r}, spike_high_us={s.high_us!r})"
+        )
+
     def extra_delay_us(self) -> float:
         return self._spikes.sample_extra_delay_us()
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.experiments.common import (
+    DEFAULT_SCALE,
     ExperimentSettings,
     FigureResult,
     kvs_system,
@@ -27,7 +28,7 @@ class TestSettings:
         monkeypatch.delenv("REPRO_SCALE", raising=False)
         monkeypatch.delenv("REPRO_MEASURE", raising=False)
         s = ExperimentSettings.from_env()
-        assert s.scale == 0.125
+        assert s.scale == DEFAULT_SCALE
         assert s.measure_multiplier == 1.0
 
 

@@ -1,0 +1,169 @@
+"""Tests for the parallel grid runner and the persistent point cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import pointcache
+from repro.engine.parallel import (
+    PointSpec,
+    default_workers,
+    run_cached_spec,
+    run_points,
+    run_tasks,
+)
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    ExperimentSettings,
+    kvs_system,
+    kvs_workload,
+    point_spec,
+)
+
+SCALE = 0.05
+SETTINGS = ExperimentSettings(scale=SCALE, measure_multiplier=0.1)
+
+
+def tiny_spec(label="p", ways=2, sweeper=False, seed=42, **overrides) -> PointSpec:
+    spec = point_spec(
+        label,
+        kvs_system(SCALE, 64, ways, 512),
+        kvs_workload(0.02, 512),
+        "ddio",
+        sweeper=sweeper,
+        settings=SETTINGS,
+        seed=seed,
+    )
+    if overrides:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, **overrides)
+    return spec
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "pointcache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return tmp_path / "pointcache"
+
+
+def assert_identical(a, b):
+    assert a.label == b.label
+    assert a.trace.traffic.counts == b.trace.traffic.counts
+    assert a.trace.level_counts == b.trace.level_counts
+    assert a.trace.requests == b.trace.requests
+    assert a.perf.throughput_mrps == b.perf.throughput_mrps
+    assert a.perf.mem_bandwidth_gbps == b.perf.mem_bandwidth_gbps
+
+
+class TestParallelRunner:
+    def test_serial_and_parallel_identical(self, monkeypatch, cache_dir):
+        # Bypass the cache so both paths genuinely simulate.
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        specs = [
+            tiny_spec(label=f"{w}/{s}", ways=w, sweeper=s)
+            for w, s in ((2, False), (2, True))
+        ]
+        serial = run_points(specs, max_workers=1)
+        parallel = run_points(specs, max_workers=2)
+        assert [p.label for p in parallel] == [s.label for s in specs]
+        for a, b in zip(serial, parallel):
+            assert_identical(a, b)
+
+    def test_same_seed_same_result_serial(self, monkeypatch, cache_dir):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        a = run_cached_spec(tiny_spec(seed=7))
+        b = run_cached_spec(tiny_spec(seed=7))
+        assert_identical(a, b)
+
+    def test_empty_spec_list(self):
+        assert run_points([]) == []
+
+    def test_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ConfigError):
+            default_workers()
+        monkeypatch.setenv("REPRO_WORKERS", "abc")
+        with pytest.raises(ConfigError):
+            default_workers()
+
+    def test_run_tasks_preserves_order(self):
+        results = run_tasks(divmod, [(7, 3), (9, 4)], max_workers=1)
+        assert results == [(2, 1), (2, 1)]
+
+
+class TestPointCache:
+    def test_hit_equals_fresh_simulation(self, cache_dir):
+        fresh = run_cached_spec(tiny_spec())
+        assert not fresh.from_cache
+        hit = run_cached_spec(tiny_spec())
+        assert hit.from_cache
+        assert_identical(fresh, hit)
+        assert hit.sim_seconds == fresh.sim_seconds
+
+    def test_hit_restamps_label(self, cache_dir):
+        run_cached_spec(tiny_spec(label="first"))
+        hit = run_cached_spec(tiny_spec(label="second"))
+        assert hit.from_cache
+        assert hit.label == "second"
+
+    def test_no_cache_env_bypasses(self, monkeypatch, cache_dir):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        first = run_cached_spec(tiny_spec())
+        second = run_cached_spec(tiny_spec())
+        assert not first.from_cache
+        assert not second.from_cache
+        assert not cache_dir.exists()
+
+    def test_fingerprint_covers_every_field(self):
+        base = tiny_spec()
+        variants = [
+            tiny_spec(ways=4),
+            tiny_spec(sweeper=True),
+            tiny_spec(seed=43),
+            tiny_spec(nic_tx_sweep=True),
+            tiny_spec(queued_depth=2),
+            tiny_spec(warmup_requests=10),
+            tiny_spec(measure_requests=999),
+            point_spec(
+                "p",
+                kvs_system(SCALE, 128, 2, 512),  # different rx buffers
+                kvs_workload(0.02, 512),
+                "ddio",
+                settings=SETTINGS,
+            ),
+            point_spec(
+                "p",
+                kvs_system(SCALE, 64, 2, 512),
+                kvs_workload(0.02, 256),  # different workload params
+                "ddio",
+                settings=SETTINGS,
+            ),
+            point_spec(
+                "p",
+                kvs_system(SCALE, 64, 2, 512),
+                kvs_workload(0.02, 512),
+                "dma",  # different policy
+                settings=SETTINGS,
+            ),
+        ]
+        base_fp = pointcache.fingerprint(base)
+        fps = [pointcache.fingerprint(v) for v in variants]
+        assert all(fp != base_fp for fp in fps)
+        assert len(set(fps)) == len(fps)
+
+    def test_label_not_in_fingerprint(self):
+        assert pointcache.fingerprint(tiny_spec(label="a")) == (
+            pointcache.fingerprint(tiny_spec(label="b"))
+        )
+
+    def test_corrupt_entry_is_a_miss(self, cache_dir):
+        run_cached_spec(tiny_spec())
+        entries = list(cache_dir.glob("*.pkl"))
+        assert len(entries) == 1
+        entries[0].write_bytes(b"not a pickle")
+        again = run_cached_spec(tiny_spec())
+        assert not again.from_cache

@@ -74,11 +74,11 @@ class TestKvsWorkload:
         )
         log = space.region("kvs_log")
         ops = wl.request(0)
-        item_reads = ops.app_reads[1:]
+        item_reads = ops.all_read_blocks()[1:]
         assert len(item_reads) == 4
         assert all(log.contains_block(b) for b in item_reads)
         assert ops.response_blocks == 4
-        assert not ops.app_writes
+        assert not ops.all_write_blocks()
 
     def test_set_writes_item_and_acks_one_block(self):
         space, wl = built(
@@ -89,8 +89,9 @@ class TestKvsWorkload:
         )
         log = space.region("kvs_log")
         ops = wl.request(0)
-        assert len(ops.app_writes) == 4
-        assert all(log.contains_block(b) for b in ops.app_writes)
+        writes = ops.all_write_blocks()
+        assert len(writes) == 4
+        assert all(log.contains_block(b) for b in writes)
         assert ops.response_blocks == 1
 
     def test_in_place_update_rewrites_same_blocks(self):
@@ -103,7 +104,7 @@ class TestKvsWorkload:
         seen = {}
         for _ in range(100):
             ops = wl.request(0)
-            key_blocks = tuple(ops.app_writes)
+            key_blocks = tuple(ops.all_write_blocks())
             seen.setdefault(key_blocks, 0)
             seen[key_blocks] += 1
         assert len(seen) <= 4  # one block set per key, reused forever
@@ -115,8 +116,8 @@ class TestKvsWorkload:
                       update_in_place=False)
         )
         built(wl)
-        a = wl.request(0).app_writes
-        b = wl.request(0).app_writes
+        a = wl.request(0).all_write_blocks()
+        b = wl.request(0).all_write_blocks()
         assert a != b
         assert b[0] == a[-1] + 1  # consecutive appends
 
@@ -130,7 +131,7 @@ class TestKvsWorkload:
         log = space.region("kvs_log")
         blocks = []
         for _ in range(64):  # far more than the 16-item log holds
-            blocks.extend(wl.request(0).app_writes)
+            blocks.extend(wl.request(0).all_write_blocks())
         assert all(log.contains_block(b) for b in blocks)
 
     def test_get_set_mix_tracks_fraction(self):
