@@ -339,8 +339,58 @@ class CacheHierarchy:
         )
 
     # ------------------------------------------------------------------
-    # introspection
+    # introspection / observability
     # ------------------------------------------------------------------
+
+    def all_caches(self) -> Tuple[SetAssociativeCache, ...]:
+        return (*self.l1s, *self.l2s, self.llc)
+
+    def stats_totals(self) -> dict:
+        """Sum every :class:`CacheStats` field across all caches.
+
+        Field-driven (``dataclasses.fields``) so counters added to
+        CacheStats aggregate automatically — this is the end-of-run
+        truth the epoch timeline's summed deltas must match exactly.
+        """
+        import dataclasses
+
+        from repro.cache.stats import CacheStats
+
+        totals = {f.name: 0 for f in dataclasses.fields(CacheStats)}
+        for cache in self.all_caches():
+            for name, value in cache.stats.as_dict().items():
+                totals[name] += value
+        return totals
+
+    def publish_metrics(self, registry) -> None:
+        """Publish every cache's counters plus LLC/DDIO occupancy.
+
+        All samples are pull-collected at registry sample time; nothing
+        on the access path changes.
+        """
+        for cache in self.all_caches():
+            cache.publish_metrics(registry)
+        self.traffic.publish_metrics(registry)
+        occupancy = registry.gauge(
+            "llc_occupancy_blocks",
+            "Valid LLC lines by region kind",
+            labels=("kind",),
+        )
+        ddio_occupancy = registry.gauge(
+            "llc_ddio_occupancy_blocks",
+            "Valid LLC lines resident in the DDIO way mask",
+        )
+        ddio_ways = registry.gauge(
+            "llc_ddio_ways", "Number of LLC ways in the DDIO mask"
+        )
+
+        def collect(_registry, hier=self) -> None:
+            for kind, count in hier.llc.occupancy_by_kind().items():
+                occupancy.labels(kind=kind.name).set(count)
+            ddio_occupancy.set(hier.llc.occupancy_in_ways(hier.ddio_way_mask))
+            ddio_ways.set(len(hier.ddio_way_mask))
+
+        registry.register_collector(collect)
 
     def resident_anywhere(self, core_hint: int, block: int) -> bool:
         return (

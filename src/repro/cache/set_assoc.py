@@ -136,6 +136,42 @@ class SetAssociativeCache:
                 out[RegionKind(self._kind[slot])] += 1
         return out
 
+    def occupancy_in_ways(self, ways: Sequence[int]) -> int:
+        """Valid lines resident in a way subset (e.g. the DDIO ways)."""
+        allowed = set(ways)
+        n_ways = self.ways
+        return sum(
+            1 for m in self._maps for slot in m.values() if slot % n_ways in allowed
+        )
+
+    def publish_metrics(self, registry) -> None:
+        """Register pull collectors exposing this cache's counters.
+
+        The hot path keeps bumping the raw :class:`CacheStats` ints; the
+        collector copies them into ``cache_events_total{cache,event}``
+        (one event label per stats field) and ``cache_hit_rate{cache}``
+        only when the registry is sampled — an epoch boundary, never the
+        per-access path.
+        """
+        events = registry.counter(
+            "cache_events_total",
+            "Per-cache event counters (hits, misses, evictions, sweeps)",
+            labels=("cache", "event"),
+        )
+        hit_rate = registry.gauge(
+            "cache_hit_rate",
+            "Cumulative hit rate since the last stats reset",
+            labels=("cache",),
+        )
+
+        def collect(_registry, cache=self) -> None:
+            stats = cache.stats
+            for event, value in stats.as_dict().items():
+                events.labels(cache=cache.name, event=event).set_total(value)
+            hit_rate.labels(cache=cache.name).set(stats.hit_rate)
+
+        registry.register_collector(collect)
+
     def resident_blocks(self) -> List[int]:
         blocks: List[int] = []
         for m in self._maps:

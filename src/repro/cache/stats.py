@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass
 class CacheStats:
-    """Event counters for one cache instance."""
+    """Event counters for one cache instance.
+
+    Every field is a plain int bumped directly on the hot path; the
+    observability layer publishes them through pull collectors (see
+    :meth:`SetAssociativeCache.publish_metrics`), so adding a field here
+    automatically reaches ``reset``/``as_dict`` and the metrics registry.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -37,11 +43,12 @@ class CacheStats:
     def evictions(self) -> int:
         return self.evictions_clean + self.evictions_dirty
 
+    def as_dict(self) -> dict:
+        """Field name -> value, derived from the dataclass fields."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.insertions = 0
-        self.evictions_clean = 0
-        self.evictions_dirty = 0
-        self.invalidations = 0
-        self.sweeps = 0
+        # Derived from the field list so a newly added counter can never
+        # be missed (a hand-maintained list silently survived warmup).
+        for f in fields(self):
+            setattr(self, f.name, f.default)

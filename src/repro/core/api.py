@@ -32,10 +32,18 @@ class SweepStats:
     clsweep_instructions: int = 0
     lines_dropped: int = 0
 
+    def as_dict(self) -> dict:
+        import dataclasses
+
+        return {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+
     def reset(self) -> None:
-        self.relinquish_calls = 0
-        self.clsweep_instructions = 0
-        self.lines_dropped = 0
+        import dataclasses
+
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, f.default)
 
 
 class Sweeper:
@@ -56,6 +64,20 @@ class Sweeper:
         self.require_permission = require_permission
         self._permission_granted = not require_permission
         self.stats = SweepStats()
+
+    def publish_metrics(self, registry) -> None:
+        """Publish relinquish/clsweep counters via a pull collector."""
+        family = registry.counter(
+            "sweeper_events_total",
+            "Sweeper activity (relinquish calls, clsweeps, lines dropped)",
+            labels=("event",),
+        )
+
+        def collect(_registry, sweeper=self) -> None:
+            for event, value in sweeper.stats.as_dict().items():
+                family.labels(event=event).set_total(value)
+
+        registry.register_collector(collect)
 
     def grant_permission(self) -> None:
         """The process's one-time clsweep-permission syscall (§V-B)."""

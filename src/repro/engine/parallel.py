@@ -17,24 +17,48 @@ the fan-out:
   :class:`PointResult` objects).
 
 Results are memoized through :mod:`repro.engine.pointcache` unless
-``REPRO_NO_CACHE=1``. ``REPRO_PROFILE=1`` prints a cProfile top-20 per
-simulated point.
+``REPRO_NO_CACHE=1``.
+
+Observability (:mod:`repro.obs`, DESIGN.md §6): every ``run_points``
+call writes a run manifest under ``results/runs/<run_id>/`` (disable
+with ``REPRO_NO_MANIFEST=1``) recording full per-point config, seeds,
+the code hash, host info, wall/sim time, and cache-hit provenance.
+``REPRO_EPOCH=N`` makes each freshly simulated point emit an epoch
+timeline JSONL next to the manifest. ``REPRO_LOG=text|json`` streams
+per-point start/finish/cached events with a live ETA. ``REPRO_PROFILE=1``
+emits a cProfile top-20 per simulated point through the event log, the
+point label prefixed atomically (no interleaving under parallel runs).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.engine import pointcache
 from repro.errors import ConfigError
+from repro.obs import events as obs_events
+from repro.obs import manifest as obs_manifest
+from repro.obs.manifest import PointRecord, RunManifest
+from repro.obs.timeline import ObsContext, write_jsonl
 from repro.params import SystemConfig
 from repro.workloads.base import Workload
 
 T = TypeVar("T")
+
+#: run directory of the most recent completed run_points call in this
+#: process (None until one completes, or when manifests are disabled).
+_LAST_RUN_DIR: Optional[Path] = None
+
+
+def last_run_dir() -> Optional[Path]:
+    """Run directory written by the most recent :func:`run_points`."""
+    return _LAST_RUN_DIR
 
 
 @dataclass(frozen=True)
@@ -77,17 +101,30 @@ class PointSpec:
         )
 
 
-def run_spec(spec: PointSpec):
+def _timeline_filename(spec: PointSpec) -> str:
+    slug = "".join(
+        c if c.isalnum() or c in "-_." else "_" for c in spec.label
+    )[:80]
+    return f"{slug}-{pointcache.fingerprint(spec)[:8]}.jsonl"
+
+
+def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
     """Simulate one spec end to end; the worker-process entry point.
 
     Must stay a module-level function so ProcessPoolExecutor can pickle
     it. Imports are deferred to avoid a cycle with
     ``repro.experiments.common`` (which imports this module).
+
+    With ``REPRO_EPOCH`` set, the simulation samples an epoch timeline;
+    when ``run_dir`` is given the timeline is written to
+    ``<run_dir>/timelines/`` and the result's ``timeline_file`` records
+    the manifest-relative path.
     """
     from repro.engine.analytic import ServiceProfile, solve_peak_throughput
     from repro.engine.tracer import TraceConfig, TraceSimulator
     from repro.experiments.common import PointResult
 
+    log = obs_events.get_event_log()
     cfg = TraceConfig(
         system=spec.system,
         workload=spec.workload,
@@ -99,7 +136,9 @@ def run_spec(spec: PointSpec):
         warmup_requests=spec.warmup_requests,
         measure_requests=spec.measure_requests,
     )
+    obs = ObsContext.from_env()
     profiling = os.environ.get("REPRO_PROFILE", "") == "1"
+    log.debug("point.simulate", label=spec.label, pid=os.getpid())
     start = time.perf_counter()
     if profiling:
         import cProfile
@@ -108,14 +147,24 @@ def run_spec(spec: PointSpec):
 
         profiler = cProfile.Profile()
         profiler.enable()
-        trace = TraceSimulator(cfg).run()
+        trace = TraceSimulator(cfg, obs=obs).run()
         profiler.disable()
         buf = io.StringIO()
         pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(20)
-        print(f"[REPRO_PROFILE] point {spec.label!r}\n{buf.getvalue()}", flush=True)
+        # One atomic event, label-prefixed, instead of a bare print that
+        # interleaved across REPRO_WORKERS>1 workers. force=True keeps
+        # the output visible for users who never set REPRO_LOG.
+        log.emit(
+            "profile", force=True, label=spec.label, text=buf.getvalue()
+        )
     else:
-        trace = TraceSimulator(cfg).run()
+        trace = TraceSimulator(cfg, obs=obs).run()
     elapsed = time.perf_counter() - start
+    timeline_file: Optional[str] = None
+    if obs is not None and obs.timeline and run_dir is not None:
+        rel = Path("timelines") / _timeline_filename(spec)
+        write_jsonl(Path(run_dir) / rel, obs.timeline)
+        timeline_file = str(rel)
     profile = ServiceProfile.from_trace(trace)
     perf = solve_peak_throughput(profile, spec.system)
     return PointResult(
@@ -125,20 +174,24 @@ def run_spec(spec: PointSpec):
         profile=profile,
         perf=perf,
         sim_seconds=elapsed,
+        timeline_file=timeline_file,
     )
 
 
-def run_cached_spec(spec: PointSpec):
+def run_cached_spec(spec: PointSpec, run_dir: Optional[str] = None):
     """:func:`run_spec` through the persistent point cache."""
     if not pointcache.cache_enabled():
-        return run_spec(spec)
+        return run_spec(spec, run_dir=run_dir)
     fp = pointcache.fingerprint(spec)
     cached = pointcache.load(fp)
     if cached is not None:
         cached.label = spec.label
         cached.from_cache = True
+        # The cached pickle may reference a timeline from the run that
+        # produced it; that file belongs to another run directory.
+        cached.timeline_file = None
         return cached
-    result = run_spec(spec)
+    result = run_spec(spec, run_dir=run_dir)
     pointcache.store(fp, result)
     return result
 
@@ -157,8 +210,48 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _point_record(spec: PointSpec, result, fingerprint: str) -> PointRecord:
+    return PointRecord(
+        label=spec.label,
+        fingerprint=fingerprint,
+        system=repr(spec.system),
+        workload=spec.workload.cache_key(),
+        policy=spec.policy,
+        sweeper=spec.sweeper,
+        nic_tx_sweep=spec.nic_tx_sweep,
+        queued_depth=spec.queued_depth,
+        seed=spec.seed,
+        warmup_requests=spec.warmup_requests,
+        measure_requests=spec.measure_requests,
+        from_cache=result.from_cache,
+        sim_seconds=result.sim_seconds,
+        timeline_file=getattr(result, "timeline_file", None),
+    )
+
+
+def _emit_point_progress(
+    log, run_label: Optional[str], done: int, total: int, result, t0: float
+) -> None:
+    """One atomic finish/ETA line per completed point."""
+    if not log.would_emit("info"):
+        return
+    elapsed = time.perf_counter() - t0
+    eta = (elapsed / done) * (total - done) if done else 0.0
+    log.info(
+        "point.finish",
+        run=run_label or "-",
+        label=result.label,
+        cached=result.from_cache,
+        sim_s=result.sim_seconds,
+        done=f"{done}/{total}",
+        eta_s=eta,
+    )
+
+
 def run_points(
-    specs: Iterable[PointSpec], max_workers: Optional[int] = None
+    specs: Iterable[PointSpec],
+    max_workers: Optional[int] = None,
+    run_label: Optional[str] = None,
 ) -> List:
     """Simulate every spec; results come back in spec order.
 
@@ -166,36 +259,119 @@ def run_points(
     serially in-process, which is the deterministic reference path —
     parallel runs produce bit-identical results because each point's
     RNGs are seeded from its spec alone.
+
+    ``run_label`` names the run in its manifest, event-log lines, and
+    run-directory id (figure modules pass their figure id).
     """
+    global _LAST_RUN_DIR
     spec_list = list(specs)
     if not spec_list:
         return []
     workers = max_workers if max_workers is not None else default_workers()
     workers = min(workers, len(spec_list))
+    log = obs_events.get_event_log()
+    manifest: Optional[RunManifest] = None
+    run_dir: Optional[Path] = None
+    if obs_manifest.manifests_enabled():
+        manifest = RunManifest.create(run_label, workers)
+        manifest.code_salt = pointcache.code_salt()
+        run_dir = obs_manifest.runs_dir() / manifest.run_id
+    t0 = time.perf_counter()
+    log.info(
+        "run.start",
+        run=run_label or "-",
+        points=len(spec_list),
+        workers=workers,
+        run_id=manifest.run_id if manifest else None,
+    )
+    runner = partial(
+        run_cached_spec, run_dir=str(run_dir) if run_dir else None
+    )
+    total = len(spec_list)
     if workers <= 1:
-        return [run_cached_spec(spec) for spec in spec_list]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_cached_spec, spec_list, chunksize=1))
+        results: List = []
+        for i, spec in enumerate(spec_list):
+            result = runner(spec)
+            results.append(result)
+            _emit_point_progress(log, run_label, i + 1, total, result, t0)
+    else:
+        results = [None] * total
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(runner, spec): i
+                for i, spec in enumerate(spec_list)
+            }
+            done = 0
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                done += 1
+                _emit_point_progress(
+                    log, run_label, done, total, results[index], t0
+                )
+    wall = time.perf_counter() - t0
+    if manifest is not None and run_dir is not None:
+        manifest.wall_seconds = wall
+        manifest.sim_seconds_total = sum(r.sim_seconds for r in results)
+        manifest.points = [
+            _point_record(spec, result, pointcache.fingerprint(spec))
+            for spec, result in zip(spec_list, results)
+        ]
+        manifest.write(run_dir / "manifest.json")
+        _LAST_RUN_DIR = run_dir
+    log.info(
+        "run.finish",
+        run=run_label or "-",
+        points=total,
+        cached=sum(1 for r in results if r.from_cache),
+        wall_s=wall,
+        run_id=manifest.run_id if manifest else None,
+    )
+    return results
 
 
 def run_tasks(
     fn: Callable[..., T],
     args_list: Sequence[Tuple],
     max_workers: Optional[int] = None,
+    run_label: Optional[str] = None,
 ) -> List[T]:
     """Fan out ``fn(*args)`` over a task list, preserving order.
 
     ``fn`` must be a module-level (picklable) function and every args
-    tuple picklable. Not point-cached — use :func:`run_points` for
-    standard grid points.
+    tuple picklable. Not point-cached and not manifested — use
+    :func:`run_points` for standard grid points. Progress events still
+    flow through the event log.
     """
     tasks = list(args_list)
     if not tasks:
         return []
     workers = max_workers if max_workers is not None else default_workers()
     workers = min(workers, len(tasks))
+    log = obs_events.get_event_log()
+    t0 = time.perf_counter()
+    log.info(
+        "tasks.start", run=run_label or "-", tasks=len(tasks), workers=workers
+    )
     if workers <= 1:
-        return [fn(*args) for args in tasks]
+        results = []
+        for i, args in enumerate(tasks):
+            results.append(fn(*args))
+            log.info(
+                "task.finish",
+                run=run_label or "-",
+                done=f"{i + 1}/{len(tasks)}",
+            )
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(fn, *args) for args in tasks]
-        return [f.result() for f in futures]
+        ordered: List[T] = [None] * len(tasks)  # type: ignore[list-item]
+        done = 0
+        for future in as_completed(futures):
+            index = futures.index(future)
+            ordered[index] = future.result()
+            done += 1
+            log.info(
+                "task.finish", run=run_label or "-", done=f"{done}/{len(tasks)}"
+            )
+        return ordered

@@ -37,6 +37,7 @@ from repro.nic.arrivals import BacklogController
 from repro.nic.ddio import DdioPolicy, InjectionPolicy, make_policy
 from repro.nic.qp import NicEngine, QueuePair
 from repro.nic.rings import RxRing, TxRing, build_rings
+from repro.obs.timeline import ObsContext
 from repro.params import SystemConfig
 from repro.traffic import MemCategory, TrafficCounter
 from repro.workloads.base import Workload
@@ -85,6 +86,9 @@ class TraceResult:
     sweep_instructions: int
     nic_sweeps: int
     drops: int = 0
+    #: summed CacheStats fields across every cache (field-driven; the
+    #: epoch timeline's per-epoch deltas must sum exactly to these)
+    cache_totals: Dict[str, int] = field(default_factory=dict)
 
     def per_request(self) -> Dict[MemCategory, float]:
         """Memory accesses per request by category (the figure's bars)."""
@@ -103,10 +107,13 @@ class TraceResult:
 class TraceSimulator:
     """Drives the per-request loop over the cache hierarchy."""
 
-    def __init__(self, cfg: TraceConfig) -> None:
+    def __init__(
+        self, cfg: TraceConfig, obs: Optional[ObsContext] = None
+    ) -> None:
         if cfg.queued_depth < 1:
             raise ConfigError("queued_depth must be >= 1")
         self.cfg = cfg
+        self.obs = obs
         system = cfg.system
         self.space = AddressSpace()
         self.hier = CacheHierarchy(system)
@@ -136,6 +143,13 @@ class TraceSimulator:
         self._buffer_level: Dict[RegionKind, Optional[AccessLevel]] = {
             kind: self.policy.cpu_buffer_level(kind) for kind in RegionKind
         }
+        # Observability is pull-based: publishing registers collectors
+        # that read the raw counters at epoch boundaries; the per-request
+        # path is byte-for-byte the unobserved one.
+        if obs is not None and obs.registry.enabled:
+            self.hier.publish_metrics(obs.registry)
+            self.nic.publish_metrics(obs.registry)
+            self.sweeper.publish_metrics(obs.registry)
 
     # ------------------------------------------------------------------
     # CPU access helpers (ideal-DDIO bypass lives here)
@@ -243,14 +257,20 @@ class TraceSimulator:
         if cfg.sweeper and ops.response_blocks > 0:
             self.sweeper.relinquish_blocks(core, rx_blocks)
 
-    def run_requests(self, count: int) -> None:
+    def run_requests(self, count: int, start: int = 0) -> None:
+        """Service ``count`` requests; ``start`` continues the round-robin.
+
+        The epoch sampler runs the measure phase in chunks; threading the
+        global request index through keeps the request->core mapping (and
+        therefore every result) bit-identical to an unchunked run.
+        """
         cores = self.cfg.system.cpu.num_cores
-        for i in range(count):
+        for i in range(start, start + count):
             self.service_one(i % cores)
 
     def _reset_measurements(self) -> None:
         self.hier.traffic.reset()
-        for cache in (*self.hier.l1s, *self.hier.l2s, self.hier.llc):
+        for cache in self.hier.all_caches():
             cache.stats.reset()
         self._level_counts = {lv: 0 for lv in AccessLevel}
         self._cpu_work_cycles = 0.0
@@ -274,7 +294,7 @@ class TraceSimulator:
             raise ConfigError("measure_requests must be positive")
         self.run_requests(warmup)
         self._reset_measurements()
-        self.run_requests(measure)
+        self._run_measure(measure)
         return TraceResult(
             requests=measure,
             # Snapshot, not the live counter: a reused/continued simulator
@@ -286,7 +306,31 @@ class TraceSimulator:
             sweep_instructions=self.sweeper.stats.clsweep_instructions,
             nic_sweeps=self.nic.nic_sweeps,
             drops=sum(r.drops for r in self.rx_rings),
+            cache_totals=self.hier.stats_totals(),
         )
+
+    def _run_measure(self, measure: int) -> None:
+        """Measure phase, optionally chunked at epoch boundaries.
+
+        Without an epoch sampler this is one plain ``run_requests`` call
+        (the unchanged hot path). With ``REPRO_EPOCH`` the same requests
+        run in epoch-sized chunks and the registry is sampled between
+        chunks; the final short epoch is always sampled so per-epoch
+        counter deltas sum exactly to the end-of-run aggregates.
+        """
+        obs = self.obs
+        if obs is None or not obs.epoch_requests:
+            self.run_requests(measure)
+            return
+        sampler = obs.sampler
+        sampler.baseline()
+        epoch = obs.epoch_requests
+        done = 0
+        while done < measure:
+            chunk = min(epoch, measure - done)
+            self.run_requests(chunk, start=done)
+            done += chunk
+            sampler.sample(done)
 
 
 @dataclass
@@ -346,7 +390,7 @@ class CollocationSimulator(TraceSimulator):
             self._xmem_levels[level] += 1
             self._xmem_total += 1
 
-    def run_requests(self, count: int) -> None:
+    def run_requests(self, count: int, start: int = 0) -> None:
         """Interleave one X-Mem burst with one NF request per tick.
 
         X-Mem runs *before* the NF request so that a relinquish at the
@@ -356,7 +400,7 @@ class CollocationSimulator(TraceSimulator):
         """
         n_nf = len(self.nf_cores)
         n_xm = len(self.xmem_cores)
-        for i in range(count):
+        for i in range(start, start + count):
             self._xmem_tick(self.xmem_cores[i % n_xm])
             self.service_one(self.nf_cores[i % n_nf])
 

@@ -72,6 +72,9 @@ class PointResult:
     sim_seconds: float = 0.0
     #: True when this result was served from the persistent point cache
     from_cache: bool = False
+    #: manifest-relative path of this point's epoch timeline JSONL, when
+    #: the point was freshly simulated under REPRO_EPOCH (else None)
+    timeline_file: Optional[str] = None
 
     @property
     def throughput_mrps(self) -> float:

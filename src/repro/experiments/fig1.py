@@ -55,7 +55,7 @@ def run(
                     settings=settings,
                 )
             )
-    result.points.extend(run_points(specs))
+    result.points.extend(run_points(specs, run_label="fig1"))
     result.notes.append(
         "Expected shape: DDIO > DMA in throughput; DDIO's breakdown is "
         "dominated by RX Evct (consumed-buffer evictions) while CPU RX Rd "
@@ -63,3 +63,11 @@ def run(
         "buffer provisioning grows."
     )
     return result
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["fig1", *sys.argv[1:]]))

@@ -117,7 +117,7 @@ def run(
                 settings=settings,
             )
         )
-    result.points.extend(run_points(specs))
+    result.points.extend(run_points(specs, run_label="fig10"))
 
     peaks: Dict[Tuple[int, bool], float] = {}
     for (buffers, sweeper), point in zip(grid, result.points):
@@ -159,3 +159,11 @@ def run(
         f"depth: {deep_sw:.2f} vs best baseline {best_base:.2f} (scaled Mrps)."
     )
     return result
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["fig10", *sys.argv[1:]]))

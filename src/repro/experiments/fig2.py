@@ -56,10 +56,18 @@ def run(
                     settings=settings,
                 )
             )
-    result.points.extend(run_points(specs))
+    result.points.extend(run_points(specs, run_label="fig2"))
     result.notes.append(
         "Expected shape: premature evictions (CPU RX Rd) appear and grow "
         "with D, strongest at 2-way DDIO; ideal-DDIO consumes negligible "
         "memory bandwidth because L3fwd's dataset is cache-resident."
     )
     return result
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["fig2", *sys.argv[1:]]))

@@ -69,7 +69,7 @@ def run(
                         settings=settings,
                     )
                 )
-    result.points.extend(run_points(specs))
+    result.points.extend(run_points(specs, run_label="fig5"))
     sweeper_gains = []
     for packet in packet_sizes:
         for buffers in buffer_sweep:
@@ -90,3 +90,11 @@ def run(
         "DDIO degrades as buffers grow."
     )
     return result
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["fig5", *sys.argv[1:]]))

@@ -90,7 +90,7 @@ def run(
                 settings=settings,
             )
         )
-    result.points.extend(run_points(specs))
+    result.points.extend(run_points(specs, run_label="fig6"))
 
     at_peak: List[LatencyCurve] = []
     iso: List[LatencyCurve] = []
@@ -123,3 +123,11 @@ def run(
 
 def curves_by_label(result: FigureResult, panel: str) -> Dict[str, LatencyCurve]:
     return {c.label: c for c in result.series[panel]}
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["fig6", *sys.argv[1:]]))

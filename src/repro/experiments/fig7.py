@@ -68,7 +68,7 @@ def run(
                 settings=settings,
             )
         )
-    result.points.extend(run_points(specs))
+    result.points.extend(run_points(specs, run_label="fig7"))
 
     gains = []
     residual_match = []
@@ -92,3 +92,11 @@ def run(
         + "  ".join(f"({e:.2f} vs {r:.2f})" for e, r in residual_match)
     )
     return result
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["fig7", *sys.argv[1:]]))

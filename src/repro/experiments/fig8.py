@@ -62,7 +62,7 @@ def run(
                     settings=settings,
                 )
             )
-    bases = run_points(specs)
+    bases = run_points(specs, run_label="fig8")
     for (packet, buffers, policy, ways, sweeper, base_system), base in zip(
         grid, bases
     ):
@@ -104,3 +104,11 @@ def run(
         + " (paper, largest config: 2.2-2.7x @3ch, 2.1-2.6x @4ch, 1.6-2x @8ch)."
     )
     return result
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["fig8", *sys.argv[1:]]))

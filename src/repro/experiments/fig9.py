@@ -149,7 +149,9 @@ def run(
     over_args = [
         (settings, ways, None, None, sweeper) for ways, sweeper in over_keys
     ]
-    points = run_tasks(_run_collocated, part_args + over_args)
+    points = run_tasks(
+        _run_collocated, part_args + over_args, run_label="fig9"
+    )
     partitioned: Dict[Tuple[int, bool], CollocationPoint] = dict(
         zip(part_keys, points[: len(part_keys)])
     )
@@ -194,3 +196,11 @@ def run(
         "with Sweeper, L3fwd throughput is insensitive to DDIO way count."
     )
     return result
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["fig9", *sys.argv[1:]]))

@@ -55,7 +55,7 @@ def run(
         for ways in DDIO_WAYS
         for sweeper in (False, True)
     ]
-    result.points.extend(run_points(specs))
+    result.points.extend(run_points(specs, run_label="headline"))
 
     throughput_gain = []
     bandwidth_saving = []
@@ -86,3 +86,11 @@ def run(
         "(paper: up to 1.3x of memory bandwidth conserved)."
     )
     return result
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["headline", *sys.argv[1:]]))

@@ -25,3 +25,11 @@ def run(
     result.series["scaled_rendered"] = render_table1(TABLE1.scaled(settings.scale))
     result.notes.append(render_table1(TABLE1))
     return result
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    from repro.experiments.__main__ import main
+
+    sys.exit(main(["table1", *sys.argv[1:]]))

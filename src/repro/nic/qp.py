@@ -97,6 +97,32 @@ class NicEngine:
         self.transmissions = 0
         self.nic_sweeps = 0
 
+    def publish_metrics(self, registry) -> None:
+        """Publish TX-engine counters and the active injection policy.
+
+        Pull collector over the raw ints ``transmissions``/``nic_sweeps``
+        (the per-WQE path stays untouched), plus a labelled info gauge
+        naming the policy driving the RX/TX paths.
+        """
+        transmissions = registry.counter(
+            "nic_transmissions_total", "Work Queue entries executed"
+        )
+        sweeps = registry.counter(
+            "nic_sweeps_total", "Cache lines dropped by NIC-driven TX sweeps"
+        )
+        policy_info = registry.gauge(
+            "nic_injection_policy_info",
+            "Constant 1, labelled with the active injection policy",
+            labels=("policy",),
+        )
+        policy_info.labels(policy=self.policy.name).set(1)
+
+        def collect(_registry, nic=self) -> None:
+            transmissions.set_total(nic.transmissions)
+            sweeps.set_total(nic.nic_sweeps)
+
+        registry.register_collector(collect)
+
     def process(self, qp: QueuePair) -> int:
         """Drain the QP's work queue; returns entries processed."""
         processed = 0

@@ -1,0 +1,71 @@
+"""Structured observability for the experiment engine.
+
+Three artifacts turn every run into something inspectable after the
+fact (DESIGN.md §6):
+
+* **Metrics registry** (:mod:`repro.obs.metrics`) — counter/gauge/
+  histogram instruments with labels. Hot-path components keep raw int
+  counters and expose them through pull collectors
+  (``publish_metrics``), so the registry costs nothing per request and
+  literally nothing when disabled.
+* **Epoch timelines** (:mod:`repro.obs.timeline`) — ``REPRO_EPOCH=N``
+  samples every metric each N serviced requests of the measure phase,
+  emitted as JSONL next to the run manifest.
+* **Run manifests** (:mod:`repro.obs.manifest`) — ``run_points`` writes
+  ``results/runs/<run_id>/manifest.json`` with full per-point config,
+  seeds, code hash, host info, wall/sim time, and cache provenance.
+
+Plus the **event log** (:mod:`repro.obs.events`): per-point progress,
+ETA, and profile output as atomic ``REPRO_LOG=text|json`` lines.
+"""
+
+from repro.obs.events import EventLog, get_event_log
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    PointRecord,
+    RunManifest,
+    manifests_enabled,
+    runs_dir,
+    validate_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    sample_name,
+)
+from repro.obs.timeline import (
+    EpochSampler,
+    ObsContext,
+    TIMELINE_SCHEMA_VERSION,
+    epoch_from_env,
+    load_jsonl,
+    validate_timeline,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "EpochSampler",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "ObsContext",
+    "PointRecord",
+    "RunManifest",
+    "TIMELINE_SCHEMA_VERSION",
+    "epoch_from_env",
+    "get_event_log",
+    "load_jsonl",
+    "manifests_enabled",
+    "runs_dir",
+    "sample_name",
+    "validate_manifest",
+    "validate_timeline",
+    "write_jsonl",
+]

@@ -1,0 +1,357 @@
+"""Prometheus-style metrics registry: counters, gauges, histograms.
+
+The simulator's hot paths (cache insert/access, traffic accounting)
+keep their raw integer counters — routing every increment through an
+instrument object would cost far more than the < 5% regression budget
+the hot-path microbenchmark enforces. Instead, components *publish*
+those raw counters through **pull collectors**: a ``publish_metrics``
+method registers a callback that copies the current raw values into
+registry instruments whenever the registry is sampled (an epoch
+boundary, never the per-request path). Push-style ``inc``/``set``/
+``observe`` instruments exist for cold paths (engine events, per-point
+wall time).
+
+A disabled registry (``MetricsRegistry(enabled=False)``) hands out a
+shared no-op instrument and drops collectors, so instrumented code runs
+with zero bookkeeping — the pattern every component uses::
+
+    registry.counter("nic_sweeps_total", "...").inc()   # no-op when disabled
+
+Sample naming follows the Prometheus text format: ``name`` for a bare
+metric, ``name{k="v",...}`` with sorted label keys for a labelled child,
+and ``_bucket``/``_count``/``_sum`` expansions for histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Default histogram bucket upper bounds (seconds-ish scale; callers
+#: supply their own for counts).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+#: Hard ceiling on label sets per metric family; exceeding it is almost
+#: always an accidental unbounded label (an address, a request id).
+DEFAULT_MAX_LABEL_SETS = 1024
+
+
+def sample_name(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """Flat sample key: ``name`` or ``name{k="v",...}`` (sorted keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class NullInstrument:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def labels(self, **_kv: str) -> "NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_total(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = NullInstrument()
+
+
+class _Family:
+    """One registered metric name: a bare instrument or labelled children."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        label_names: Tuple[str, ...],
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._children: Dict[Tuple[str, ...], "_Family"] = {}
+        self._label_values: Optional[Tuple[str, ...]] = None
+
+    # -- labelling ------------------------------------------------------
+
+    def labels(self, **kv: str):
+        """Child instrument for one label-value combination (memoized)."""
+        if not self.label_names:
+            raise ConfigError(f"metric {self.name!r} was declared without labels")
+        if set(kv) != set(self.label_names):
+            raise ConfigError(
+                f"metric {self.name!r} expects labels {self.label_names}, "
+                f"got {tuple(sorted(kv))}"
+            )
+        key = tuple(str(kv[k]) for k in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.registry.max_label_sets:
+                raise ConfigError(
+                    f"metric {self.name!r} exceeds the label-cardinality "
+                    f"cap ({self.registry.max_label_sets} label sets); "
+                    "an unbounded label value is almost certainly leaking in"
+                )
+            child = type(self)(self.registry, self.name, self.help, ())
+            child._label_values = key
+            self._children[key] = child
+        return child
+
+    def _label_dict(self) -> Optional[Dict[str, str]]:
+        if self._label_values is None:
+            return None
+        return dict(zip(self.label_names, self._label_values))
+
+    def _iter_leaves(self) -> Iterable["_Family"]:
+        if self.label_names:
+            for key, child in self._children.items():
+                child_labels = dict(zip(self.label_names, key))
+                yield child, child_labels  # type: ignore[misc]
+        else:
+            yield self, None  # type: ignore[misc]
+
+    # -- overridden by concrete kinds -----------------------------------
+
+    def samples(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for leaf, labels in self._iter_leaves():  # type: ignore[misc]
+            leaf._emit(out, labels)
+        return out
+
+    def _emit(self, out: Dict[str, float], labels: Optional[Dict[str, str]]) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        for leaf, _labels in self._iter_leaves():  # type: ignore[misc]
+            if leaf is not self:
+                leaf.reset()
+
+
+class Counter(_Family):
+    """Monotonic count. ``inc`` pushes; ``set_total`` publishes a raw
+    counter maintained elsewhere (the pull-collector pattern)."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, help, label_names) -> None:
+        super().__init__(registry, name, help, label_names)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite with the absolute value of an external raw counter."""
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _emit(self, out, labels) -> None:
+        out[sample_name(self.name, labels)] = self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+        super().reset()
+
+
+class Gauge(_Family):
+    """Point-in-time value (occupancy, hit rate, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, help, label_names) -> None:
+        super().__init__(registry, name, help, label_names)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _emit(self, out, labels) -> None:
+        out[sample_name(self.name, labels)] = self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+        super().reset()
+
+
+class Histogram(_Family):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``observe(v)`` increments every bucket whose upper bound is >= v,
+    plus the implicit ``+Inf`` bucket, ``_count``, and ``_sum``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, label_names, buckets=None) -> None:
+        super().__init__(registry, name, help, label_names)
+        bounds = tuple(buckets if buckets is not None else DEFAULT_BUCKETS)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigError(
+                f"histogram {self.name!r} buckets must be strictly increasing"
+            )
+        self.buckets = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +Inf last
+        self._count = 0
+        self._sum = 0.0
+
+    def labels(self, **kv: str):
+        child = super().labels(**kv)
+        # Children inherit the parent's bucket layout.
+        if child._count == 0 and child.buckets != self.buckets:
+            child.buckets = self.buckets
+            child._bucket_counts = [0] * (len(self.buckets) + 1)
+        return child
+
+    def observe(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._bucket_counts[i] += 1
+        self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative count per upper bound (as the text format reports)."""
+        out: Dict[str, int] = {}
+        for bound, n in zip(self.buckets, self._bucket_counts[:-1]):
+            out[repr(bound)] = n  # already cumulative per bound
+        out["+Inf"] = self._bucket_counts[-1]
+        return out
+
+    def _emit(self, out, labels) -> None:
+        for le, n in self.bucket_counts().items():
+            bucket_labels = dict(labels or {})
+            bucket_labels["le"] = le
+            out[sample_name(f"{self.name}_bucket", bucket_labels)] = float(n)
+        out[sample_name(f"{self.name}_count", labels)] = float(self._count)
+        out[sample_name(f"{self.name}_sum", labels)] = self._sum
+
+    def reset(self) -> None:
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        super().reset()
+
+
+class MetricsRegistry:
+    """Names -> instruments, plus pull collectors run at sample time.
+
+    ``enabled=False`` turns every factory into a supplier of the shared
+    :data:`NULL_INSTRUMENT` and makes :meth:`collect` return ``{}``; the
+    instrumentation sites then cost one no-op method call on cold paths
+    and nothing at all on hot paths (which only ever publish through
+    collectors, and collectors are dropped when disabled).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+    ) -> None:
+        self.enabled = enabled
+        self.max_label_sets = max_label_sets
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- factories ------------------------------------------------------
+
+    def _family(self, cls, name: str, help: str, labels: Sequence[str], **kw):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        existing = self._families.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ConfigError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        family = cls(self, name, help, tuple(labels), **kw)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        return self._family(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        return self._family(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        return self._family(Histogram, name, help, labels, buckets=buckets)
+
+    # -- collection -----------------------------------------------------
+
+    def register_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Add a pull callback run before every :meth:`collect`."""
+        if self.enabled:
+            self._collectors.append(collector)
+
+    def collect(self) -> Dict[str, float]:
+        """Run collectors, then flatten every sample to ``{key: value}``."""
+        if not self.enabled:
+            return {}
+        for collector in self._collectors:
+            collector(self)
+        out: Dict[str, float] = {}
+        for family in self._families.values():
+            out.update(family.samples())
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations and collectors survive)."""
+        for family in self._families.values():
+            family.reset()
+
+    def names(self) -> List[str]:
+        return sorted(self._families)

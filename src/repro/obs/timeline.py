@@ -1,0 +1,173 @@
+"""Epoch timeline sampling: metric snapshots every N serviced requests.
+
+End-of-run aggregates hide *when* leakage happens — consumed-buffer
+evictions ramping as the DDIO ways overflow, premature evictions
+appearing once the backlog deepens. The epoch sampler snapshots every
+registry metric each ``REPRO_EPOCH`` serviced requests during the
+measure phase, producing a JSONL time series per simulated point.
+
+Record schema (one JSON object per line)::
+
+    {"schema": 1, "epoch": 3, "requests": 1024,
+     "metrics": {"cache_events_total{cache=\"LLC\",event=\"evictions_dirty\"}": 512.0, ...},
+     "deltas":  {... same keys, value minus previous epoch ...}}
+
+``deltas`` of counter samples sum *exactly* to the end-of-run aggregate
+(the final, possibly short, epoch is always sampled), which is the
+consistency contract ``tests/test_observability.py`` enforces against
+``TraceResult.cache_totals``. Gauges appear in ``metrics`` with their
+instantaneous value; their deltas are carried too but are only
+meaningful for monotonic samples.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+
+TIMELINE_SCHEMA_VERSION = 1
+
+
+def epoch_from_env() -> Optional[int]:
+    """Epoch length from ``REPRO_EPOCH`` (requests per sample), or None."""
+    raw = os.environ.get("REPRO_EPOCH", "").strip()
+    if not raw:
+        return None
+    try:
+        epoch = int(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_EPOCH must be an integer, got {raw!r}")
+    if epoch < 1:
+        raise ConfigError("REPRO_EPOCH must be >= 1")
+    return epoch
+
+
+class EpochSampler:
+    """Collects registry snapshots and their per-epoch deltas."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.records: List[Dict[str, Any]] = []
+        self._previous: Dict[str, float] = {}
+
+    def baseline(self) -> None:
+        """Snapshot the post-warmup state deltas are computed against."""
+        self._previous = self.registry.collect()
+        self.records = []
+
+    def sample(self, requests: int) -> Dict[str, Any]:
+        """Record one epoch at ``requests`` cumulative serviced requests."""
+        metrics = self.registry.collect()
+        deltas = {
+            key: value - self._previous.get(key, 0.0)
+            for key, value in metrics.items()
+        }
+        record = {
+            "schema": TIMELINE_SCHEMA_VERSION,
+            "epoch": len(self.records),
+            "requests": requests,
+            "metrics": metrics,
+            "deltas": deltas,
+        }
+        self.records.append(record)
+        self._previous = metrics
+        return record
+
+    def summed_deltas(self, key: str) -> float:
+        return sum(r["deltas"].get(key, 0.0) for r in self.records)
+
+
+class ObsContext:
+    """Per-simulation observability bundle handed to the trace engine.
+
+    ``None`` (the default everywhere) means fully disabled: the
+    simulator takes its unchanged hot path. A context with
+    ``epoch_requests`` set makes the measure loop run in epoch-sized
+    chunks and sample the registry between chunks.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        epoch_requests: Optional[int] = None,
+    ) -> None:
+        if epoch_requests is not None and epoch_requests < 1:
+            raise ConfigError("epoch_requests must be >= 1")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.epoch_requests = epoch_requests
+        self.sampler = EpochSampler(self.registry)
+
+    @classmethod
+    def from_env(cls) -> Optional["ObsContext"]:
+        """Context when ``REPRO_EPOCH`` is set, else None (disabled)."""
+        epoch = epoch_from_env()
+        if epoch is None:
+            return None
+        return cls(epoch_requests=epoch)
+
+    @property
+    def timeline(self) -> List[Dict[str, Any]]:
+        return self.sampler.records
+
+
+# ----------------------------------------------------------------------
+# JSONL persistence and schema validation
+# ----------------------------------------------------------------------
+
+
+def write_jsonl(path: Path, records: Iterable[Dict[str, Any]]) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as f:
+        for record in records:
+            f.write(json.dumps(record) + "\n")
+
+
+def load_jsonl(path: Path) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ConfigError(f"{path}:{line_no}: invalid JSON: {exc}")
+    return records
+
+
+def validate_record(record: Dict[str, Any], where: str = "timeline") -> None:
+    """Raise :class:`ConfigError` if one epoch record violates the schema."""
+    if not isinstance(record, dict):
+        raise ConfigError(f"{where}: record is not an object")
+    if record.get("schema") != TIMELINE_SCHEMA_VERSION:
+        raise ConfigError(
+            f"{where}: schema {record.get('schema')!r} != {TIMELINE_SCHEMA_VERSION}"
+        )
+    for field, kind in (("epoch", int), ("requests", int)):
+        if not isinstance(record.get(field), kind):
+            raise ConfigError(f"{where}: field {field!r} must be {kind.__name__}")
+    for field in ("metrics", "deltas"):
+        mapping = record.get(field)
+        if not isinstance(mapping, dict):
+            raise ConfigError(f"{where}: field {field!r} must be an object")
+        for key, value in mapping.items():
+            if not isinstance(key, str) or not isinstance(value, (int, float)):
+                raise ConfigError(
+                    f"{where}: {field}[{key!r}] must map str -> number"
+                )
+
+
+def validate_timeline(records: List[Dict[str, Any]], where: str = "timeline") -> None:
+    if not records:
+        raise ConfigError(f"{where}: empty timeline")
+    for i, record in enumerate(records):
+        validate_record(record, where=f"{where}[{i}]")
+        if record["epoch"] != i:
+            raise ConfigError(f"{where}[{i}]: epoch index {record['epoch']} != {i}")

@@ -1,0 +1,78 @@
+"""Validate run artifacts: ``python -m repro.obs.validate <runs_root>``.
+
+Walks every ``manifest.json`` under the given root, checks manifest
+schema and structure, and verifies each referenced timeline JSONL parses
+and satisfies the epoch-record schema. CI runs this against
+``results/runs`` after the observability smoke run; ``--require-timeline``
+additionally fails if no timeline was produced at all (catching a smoke
+job that silently ran without ``REPRO_EPOCH``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.obs.manifest import RunManifest, validate_manifest
+from repro.obs.timeline import load_jsonl, validate_timeline
+
+
+def validate_run_dir(run_dir: Path) -> int:
+    """Validate one run directory; returns the number of timelines."""
+    manifest = RunManifest.load(run_dir / "manifest.json")
+    validate_manifest(manifest, where=str(run_dir))
+    timelines = 0
+    for point in manifest.points:
+        if point.timeline_file is None:
+            continue
+        path = run_dir / point.timeline_file
+        if not path.is_file():
+            raise ConfigError(
+                f"{run_dir}: point {point.label!r} references missing "
+                f"timeline {point.timeline_file}"
+            )
+        validate_timeline(
+            load_jsonl(path), where=f"{run_dir}/{point.timeline_file}"
+        )
+        timelines += 1
+    return timelines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate run manifests and epoch timelines.",
+    )
+    parser.add_argument(
+        "runs_root", type=Path, help="directory containing run directories"
+    )
+    parser.add_argument(
+        "--require-timeline",
+        action="store_true",
+        help="fail unless at least one valid timeline exists",
+    )
+    args = parser.parse_args(argv)
+    manifests = sorted(args.runs_root.glob("**/manifest.json"))
+    if not manifests:
+        print(f"no manifests under {args.runs_root}", file=sys.stderr)
+        return 1
+    total_timelines = 0
+    for manifest_path in manifests:
+        try:
+            timelines = validate_run_dir(manifest_path.parent)
+        except ConfigError as exc:
+            print(f"INVALID {manifest_path.parent}: {exc}", file=sys.stderr)
+            return 1
+        total_timelines += timelines
+        print(f"ok {manifest_path.parent} ({timelines} timelines)")
+    if args.require_timeline and total_timelines == 0:
+        print("no timelines found (REPRO_EPOCH unset?)", file=sys.stderr)
+        return 1
+    print(f"validated {len(manifests)} runs, {total_timelines} timelines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

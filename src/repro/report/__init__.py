@@ -1,5 +1,12 @@
 """Plain-text rendering of experiment results (paper-style tables)."""
 
 from repro.report.tables import Table, format_breakdown, render_table1
+from repro.report.timeline import summarize_run, summarize_timeline
 
-__all__ = ["Table", "format_breakdown", "render_table1"]
+__all__ = [
+    "Table",
+    "format_breakdown",
+    "render_table1",
+    "summarize_run",
+    "summarize_timeline",
+]

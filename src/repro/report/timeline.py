@@ -1,0 +1,117 @@
+"""Plain-text summaries of epoch timelines and run directories.
+
+The epoch sampler (:mod:`repro.obs.timeline`) answers *when* leakage
+happens inside a measure phase; this module turns those JSONL series
+into the short human-readable digests the CLI prints after
+``--emit-timeline`` runs: dirty-eviction totals and onset epoch, sweep
+activity, per-level hit-rate drift, and DDIO occupancy range.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.obs.manifest import RunManifest
+from repro.obs.timeline import load_jsonl, validate_timeline
+
+
+def _sum_deltas(records: List[Dict[str, Any]], name: str, **label_filters: str) -> float:
+    """Sum per-epoch deltas of all samples of ``name`` matching labels."""
+    total = 0.0
+    for record in records:
+        for key, value in record["deltas"].items():
+            if not key.startswith(name):
+                continue
+            if all(f'{k}="{v}"' in key for k, v in label_filters.items()):
+                total += value
+    return total
+
+
+def _epoch_series(
+    records: List[Dict[str, Any]], name: str, field: str = "deltas", **label_filters: str
+) -> List[float]:
+    """Per-epoch value of ``name`` (samples summed within each epoch)."""
+    series = []
+    for record in records:
+        total = 0.0
+        for key, value in record[field].items():
+            if key.startswith(name) and all(
+                f'{k}="{v}"' in key for k, v in label_filters.items()
+            ):
+                total += value
+        series.append(total)
+    return series
+
+
+def _onset_epoch(series: List[float]) -> Optional[int]:
+    """First epoch with nonzero activity, or None if the series is flat."""
+    for i, value in enumerate(series):
+        if value > 0:
+            return i
+    return None
+
+
+def summarize_timeline(records: List[Dict[str, Any]], label: str = "point") -> str:
+    """One short digest of a point's epoch timeline."""
+    validate_timeline(records, where=label)
+    lines = [f"timeline {label}: {len(records)} epochs, "
+             f"{records[-1]['requests']} measured requests"]
+
+    dirty = _epoch_series(records, "cache_events_total", event="evictions_dirty")
+    onset = _onset_epoch(dirty)
+    lines.append(
+        f"  dirty evictions: {sum(dirty):.0f} total, "
+        + (f"onset at epoch {onset}, peak {max(dirty):.0f}/epoch"
+           if onset is not None else "none (no leakage observed)")
+    )
+
+    swept = _sum_deltas(records, "sweeper_events_total", event="lines_dropped")
+    nic_swept = _sum_deltas(records, "nic_sweeps_total")
+    if swept or nic_swept:
+        lines.append(
+            f"  sweeps: {swept:.0f} lines dropped by clsweep, "
+            f"{nic_swept:.0f} by NIC TX sweeps"
+        )
+
+    llc_rate = _epoch_series(records, "cache_hit_rate", field="metrics", cache="LLC")
+    if llc_rate:
+        lines.append(
+            f"  LLC hit rate: {llc_rate[0]:.3f} -> {llc_rate[-1]:.3f} (cumulative)"
+        )
+
+    ddio = _epoch_series(
+        records, "llc_ddio_occupancy_blocks", field="metrics"
+    )
+    if any(ddio):
+        lines.append(
+            f"  DDIO-way occupancy: min {min(ddio):.0f}, max {max(ddio):.0f}, "
+            f"final {ddio[-1]:.0f} blocks"
+        )
+    return "\n".join(lines)
+
+
+def summarize_run(run_dir: Path) -> str:
+    """Digest of a whole run directory (manifest + every timeline)."""
+    run_dir = Path(run_dir)
+    manifest = RunManifest.load(run_dir / "manifest.json")
+    lines = [
+        f"run {manifest.run_id}: {len(manifest.points)} points "
+        f"({manifest.cached_points} cached), wall {manifest.wall_seconds:.1f}s, "
+        f"sim {manifest.sim_seconds_total:.1f}s, workers {manifest.workers}"
+    ]
+    with_timeline = [p for p in manifest.points if p.timeline_file]
+    if not with_timeline:
+        lines.append(
+            "  no timelines (all points cached, or REPRO_EPOCH was unset)"
+        )
+        return "\n".join(lines)
+    for point in with_timeline:
+        path = run_dir / point.timeline_file
+        try:
+            records = load_jsonl(path)
+            lines.append(summarize_timeline(records, label=point.label))
+        except (ConfigError, OSError) as exc:
+            lines.append(f"timeline {point.label}: unreadable ({exc})")
+    return "\n".join(lines)

@@ -119,6 +119,26 @@ class TrafficCounter:
     def snapshot(self) -> Dict[MemCategory, int]:
         return dict(self.counts)
 
+    def publish_metrics(self, registry) -> None:
+        """Publish per-category DRAM traffic through a pull collector.
+
+        The hot paths keep bumping ``counts`` directly (the engines even
+        index the dict without going through :meth:`record`); the
+        collector copies the totals into
+        ``mem_traffic_blocks_total{category=...}`` at sample time.
+        """
+        family = registry.counter(
+            "mem_traffic_blocks_total",
+            "Block-granularity DRAM accesses by category",
+            labels=("category",),
+        )
+
+        def collect(_registry, counter=self) -> None:
+            for category, value in counter.counts.items():
+                family.labels(category=category.name).set_total(value)
+
+        registry.register_collector(collect)
+
     def diff(self, earlier: Mapping[MemCategory, int]) -> "TrafficCounter":
         """Counter of accesses accumulated since ``earlier`` snapshot."""
         out = TrafficCounter()

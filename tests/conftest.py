@@ -72,6 +72,31 @@ def make_tiny_l3fwd(packet_bytes: int = 256, zero_copy: bool = False) -> L3fwdWo
     )
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolate_observability(tmp_path_factory):
+    """Keep tests from littering results/runs or inheriting obs knobs.
+
+    Manifests stay enabled (tests exercise them) but are written under
+    a session tmp dir; epoch sampling and the event log default off so
+    the suite stays quiet and bit-identical to the seed behaviour.
+    Session-scoped so it runs before the module-scoped figure fixtures
+    in test_experiments.py (which call run_points during setup).
+    """
+    mp = pytest.MonkeyPatch()
+    mp.setenv(
+        "REPRO_RUNS_DIR", str(tmp_path_factory.mktemp("obs") / "runs")
+    )
+    for var in (
+        "REPRO_EPOCH",
+        "REPRO_LOG",
+        "REPRO_LOG_LEVEL",
+        "REPRO_NO_MANIFEST",
+    ):
+        mp.delenv(var, raising=False)
+    yield
+    mp.undo()
+
+
 @pytest.fixture
 def tiny_system() -> SystemConfig:
     return make_tiny_system()
