@@ -210,6 +210,40 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def start_manifest(
+    run_label: Optional[str], workers: int
+) -> Tuple[Optional[RunManifest], Optional[Path]]:
+    """Create a run manifest + run directory (None, None when disabled).
+
+    Shared by :func:`run_points` and the ``repro.serve`` scheduler so a
+    served job produces exactly the artifact a local run does.
+    """
+    if not obs_manifest.manifests_enabled():
+        return None, None
+    manifest = RunManifest.create(run_label, workers)
+    manifest.code_salt = pointcache.code_salt()
+    return manifest, obs_manifest.runs_dir() / manifest.run_id
+
+
+def finish_manifest(
+    manifest: RunManifest,
+    run_dir: Path,
+    spec_list: Sequence[PointSpec],
+    results: Sequence,
+    wall_seconds: float,
+) -> None:
+    """Fill in per-point records and write ``manifest.json`` atomically."""
+    global _LAST_RUN_DIR
+    manifest.wall_seconds = wall_seconds
+    manifest.sim_seconds_total = sum(r.sim_seconds for r in results)
+    manifest.points = [
+        _point_record(spec, result, pointcache.fingerprint(spec))
+        for spec, result in zip(spec_list, results)
+    ]
+    manifest.write(run_dir / "manifest.json")
+    _LAST_RUN_DIR = run_dir
+
+
 def _point_record(spec: PointSpec, result, fingerprint: str) -> PointRecord:
     return PointRecord(
         label=spec.label,
@@ -263,19 +297,13 @@ def run_points(
     ``run_label`` names the run in its manifest, event-log lines, and
     run-directory id (figure modules pass their figure id).
     """
-    global _LAST_RUN_DIR
     spec_list = list(specs)
     if not spec_list:
         return []
     workers = max_workers if max_workers is not None else default_workers()
     workers = min(workers, len(spec_list))
     log = obs_events.get_event_log()
-    manifest: Optional[RunManifest] = None
-    run_dir: Optional[Path] = None
-    if obs_manifest.manifests_enabled():
-        manifest = RunManifest.create(run_label, workers)
-        manifest.code_salt = pointcache.code_salt()
-        run_dir = obs_manifest.runs_dir() / manifest.run_id
+    manifest, run_dir = start_manifest(run_label, workers)
     t0 = time.perf_counter()
     log.info(
         "run.start",
@@ -311,14 +339,7 @@ def run_points(
                 )
     wall = time.perf_counter() - t0
     if manifest is not None and run_dir is not None:
-        manifest.wall_seconds = wall
-        manifest.sim_seconds_total = sum(r.sim_seconds for r in results)
-        manifest.points = [
-            _point_record(spec, result, pointcache.fingerprint(spec))
-            for spec, result in zip(spec_list, results)
-        ]
-        manifest.write(run_dir / "manifest.json")
-        _LAST_RUN_DIR = run_dir
+        finish_manifest(manifest, run_dir, spec_list, results, wall)
     log.info(
         "run.finish",
         run=run_label or "-",

@@ -15,11 +15,21 @@ a fingerprint of everything that determines the simulation's output:
 Environment knobs:
 
 * ``REPRO_NO_CACHE=1`` bypasses the cache entirely (no reads, no writes);
-* ``REPRO_CACHE_DIR`` overrides the default ``results/.pointcache``.
+* ``REPRO_CACHE_DIR`` overrides the default ``results/.pointcache``;
+* ``REPRO_CACHE_MAX_MB`` bounds the cache's total size — every store
+  prunes least-recently-used entries (by mtime; hits refresh it) until
+  the cache fits.
 
 Entries are pickles written atomically (temp file + rename), so parallel
 workers racing on the same fingerprint are safe: last writer wins and
 every reader sees a complete file.
+
+Entries live in one subdirectory per code generation
+(``<cache_dir>/<code_salt[:16]>/<fingerprint>.pkl``), because any source
+change invalidates every prior entry: the generation that produced them
+becomes unreachable garbage the moment the salt changes. ``python -m
+repro.engine.pointcache --stats`` reports generations and sizes;
+``--gc`` deletes orphaned generations and applies the size bound.
 """
 
 from __future__ import annotations
@@ -27,11 +37,17 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import shutil
 import tempfile
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
 
 DEFAULT_CACHE_DIR = Path("results") / ".pointcache"
+
+#: directory-name length for one code generation (a code_salt prefix).
+GENERATION_CHARS = 16
 
 _code_salt: Optional[str] = None
 
@@ -60,6 +76,20 @@ def cache_dir() -> Path:
     return Path(env) if env else DEFAULT_CACHE_DIR
 
 
+def cache_max_bytes() -> Optional[int]:
+    """Size bound from ``REPRO_CACHE_MAX_MB`` (None = unbounded)."""
+    env = os.environ.get("REPRO_CACHE_MAX_MB")
+    if not env:
+        return None
+    try:
+        mb = float(env)
+    except ValueError:
+        raise ConfigError(f"REPRO_CACHE_MAX_MB must be a number, got {env!r}")
+    if mb <= 0:
+        raise ConfigError("REPRO_CACHE_MAX_MB must be > 0")
+    return int(mb * 1024 * 1024)
+
+
 def fingerprint(spec: Any) -> str:
     """Content address of a point spec (its ``cache_key`` + code salt)."""
     digest = hashlib.sha256()
@@ -69,27 +99,42 @@ def fingerprint(spec: Any) -> str:
     return digest.hexdigest()
 
 
+def generation_dir() -> Path:
+    """Entry directory of the current code generation."""
+    return cache_dir() / code_salt()[:GENERATION_CHARS]
+
+
 def _entry_path(fp: str) -> Path:
-    return cache_dir() / f"{fp}.pkl"
+    return generation_dir() / f"{fp}.pkl"
 
 
 def load(fp: str) -> Optional[Any]:
     """Cached value for fingerprint ``fp``, or None.
 
     A corrupt or unreadable entry behaves like a miss — the caller will
-    re-simulate and overwrite it.
+    re-simulate and overwrite it. Hits refresh the entry's mtime so the
+    size-bound pruning is LRU rather than FIFO.
     """
     path = _entry_path(fp)
     try:
         with path.open("rb") as f:
-            return pickle.load(f)
+            value = pickle.load(f)
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
         return None
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+    return value
 
 
 def store(fp: str, value: Any) -> None:
-    """Persist ``value`` under fingerprint ``fp`` (atomic replace)."""
-    directory = cache_dir()
+    """Persist ``value`` under fingerprint ``fp`` (atomic replace).
+
+    With ``REPRO_CACHE_MAX_MB`` set, least-recently-used entries are
+    pruned afterwards until the whole cache fits the bound.
+    """
+    directory = generation_dir()
     directory.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
@@ -102,3 +147,138 @@ def store(fp: str, value: Any) -> None:
         except OSError:
             pass
         raise
+    limit = cache_max_bytes()
+    if limit is not None:
+        prune(limit)
+
+
+# -- garbage collection -------------------------------------------------
+
+
+def _entries() -> List[Tuple[Path, float, int]]:
+    """Every cache entry as (path, mtime, size); unstat-able files skipped."""
+    root = cache_dir()
+    out: List[Tuple[Path, float, int]] = []
+    if not root.is_dir():
+        return out
+    for path in root.rglob("*.pkl"):
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        out.append((path, st.st_mtime, st.st_size))
+    return out
+
+
+def prune(max_bytes: int) -> List[Path]:
+    """Delete oldest-mtime entries until the cache fits ``max_bytes``.
+
+    Returns the removed paths. Races with concurrent stores are benign:
+    a vanished file is skipped, and the worst case is a transiently
+    over-budget cache that the next store prunes again.
+    """
+    entries = sorted(_entries(), key=lambda e: e[1])  # oldest first
+    total = sum(size for _, _, size in entries)
+    removed: List[Path] = []
+    for path, _mtime, size in entries:
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        removed.append(path)
+    return removed
+
+
+def stats() -> Dict[str, Any]:
+    """Cache composition: per-generation entry counts/bytes + totals."""
+    current = code_salt()[:GENERATION_CHARS]
+    generations: Dict[str, Dict[str, Any]] = {}
+    for path, _mtime, size in _entries():
+        name = path.parent.name if path.parent != cache_dir() else "(flat)"
+        gen = generations.setdefault(
+            name, {"entries": 0, "bytes": 0, "current": name == current}
+        )
+        gen["entries"] += 1
+        gen["bytes"] += size
+    return {
+        "cache_dir": str(cache_dir()),
+        "current_generation": current,
+        "generations": generations,
+        "total_entries": sum(g["entries"] for g in generations.values()),
+        "total_bytes": sum(g["bytes"] for g in generations.values()),
+        "max_bytes": cache_max_bytes(),
+    }
+
+
+def gc(max_bytes: Optional[int] = None) -> Dict[str, Any]:
+    """Delete orphaned generations, then apply the size bound.
+
+    Orphans are entry directories whose name is not the current code
+    salt (plus stray ``*.pkl``/``*.tmp`` files at the cache root, left
+    by the pre-generation layout or by crashed writers). ``max_bytes``
+    defaults to ``REPRO_CACHE_MAX_MB``; None skips size pruning.
+    """
+    root = cache_dir()
+    current = code_salt()[:GENERATION_CHARS]
+    removed_generations: List[str] = []
+    removed_files = 0
+    if root.is_dir():
+        for child in sorted(root.iterdir()):
+            if child.is_dir() and child.name != current:
+                shutil.rmtree(child, ignore_errors=True)
+                removed_generations.append(child.name)
+            elif child.is_file() and child.suffix in (".pkl", ".tmp"):
+                try:
+                    child.unlink()
+                    removed_files += 1
+                except OSError:
+                    pass
+    if max_bytes is None:
+        max_bytes = cache_max_bytes()
+    pruned = prune(max_bytes) if max_bytes is not None else []
+    return {
+        "removed_generations": removed_generations,
+        "removed_stray_files": removed_files,
+        "pruned_entries": len(pruned),
+    }
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.pointcache",
+        description="Inspect or garbage-collect the persistent point cache.",
+    )
+    actions = parser.add_mutually_exclusive_group(required=True)
+    actions.add_argument(
+        "--stats", action="store_true", help="print cache composition as JSON"
+    )
+    actions.add_argument(
+        "--gc",
+        action="store_true",
+        help="delete orphaned generations and apply the size bound",
+    )
+    parser.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="size bound for --gc (default: REPRO_CACHE_MAX_MB, else none)",
+    )
+    args = parser.parse_args(argv)
+    if args.stats:
+        print(json.dumps(stats(), indent=2, sort_keys=True))
+        return 0
+    max_bytes = (
+        int(args.max_mb * 1024 * 1024) if args.max_mb is not None else None
+    )
+    print(json.dumps(gc(max_bytes=max_bytes), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -40,10 +40,27 @@ REGISTRY = {
     "headline": headline.run,
 }
 
+#: experiment id -> callable(settings) -> List[PointSpec]. The servable
+#: subset of REGISTRY: experiments whose work is a grid of PointSpecs
+#: that `repro.serve` can build by name and fan out point-by-point
+#: (fig9 runs arbitrary tasks and table1 is analytic-only, so neither
+#: is servable).
+SPEC_BUILDERS = {
+    "fig1": fig1.specs,
+    "fig2": fig2.specs,
+    "fig5": fig5.specs,
+    "fig6": fig6.specs,
+    "fig7": fig7.specs,
+    "fig8": fig8.specs,
+    "fig10": fig10.specs,
+    "headline": headline.specs,
+}
+
 __all__ = [
     "ExperimentSettings",
     "FigureResult",
     "PointResult",
     "REGISTRY",
+    "SPEC_BUILDERS",
     "run_point",
 ]

@@ -3,18 +3,22 @@
 ``--list`` enumerates the available experiments with one-line
 descriptions; ``--emit-timeline`` turns on epoch sampling for the run
 (defaulting ``REPRO_EPOCH`` if unset) and prints a per-point timeline
-digest after each experiment.
+digest after each experiment; ``--json`` emits the figure's
+rows/breakdowns as machine-readable JSON in the same result schema the
+``repro.serve`` API returns from ``GET /jobs/<id>/result``.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import os
 import sys
 
 from repro.engine.parallel import last_run_dir
 from repro.experiments import REGISTRY
+from repro.experiments.common import figure_result_to_dict
 from repro.report.timeline import summarize_run
 
 #: epochs per point are workload-dependent; this default gives a few
@@ -58,6 +62,13 @@ def main(argv=None) -> int:
         help="sample epoch timelines (sets REPRO_EPOCH if unset) and "
         "print a per-point digest after each experiment",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit machine-readable JSON (the serve API's result schema) "
+        "instead of rendered tables",
+    )
     args = parser.parse_args(argv)
     if args.list_experiments:
         for exp_id in sorted(REGISTRY):
@@ -68,6 +79,16 @@ def main(argv=None) -> int:
     if args.emit_timeline and not os.environ.get("REPRO_EPOCH"):
         os.environ["REPRO_EPOCH"] = str(DEFAULT_EMIT_EPOCH)
     ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    if args.as_json:
+        # One JSON document on stdout: the bare result for a single
+        # experiment, an {id: result} object for 'all'.
+        payloads = {
+            exp_id: figure_result_to_dict(REGISTRY[exp_id](scale=args.scale))
+            for exp_id in ids
+        }
+        document = payloads[ids[0]] if len(ids) == 1 else payloads
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     for exp_id in ids:
         before = last_run_dir()
         result = REGISTRY[exp_id](scale=args.scale)

@@ -41,6 +41,10 @@ from repro.workloads.l3fwd import L3fwdParams, L3fwdWorkload
 
 DEFAULT_SCALE = 0.1
 
+#: version of the JSON result schema shared by ``--json`` and the
+#: ``repro.serve`` API (``GET /jobs/<id>/result``).
+RESULT_SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class ExperimentSettings:
@@ -145,6 +149,68 @@ class FigureResult:
 
     def __str__(self) -> str:
         return self.render()
+
+    def to_dict(self) -> Dict[str, object]:
+        """The shared JSON result schema (CLI ``--json`` and the serve API)."""
+        return figure_result_to_dict(self)
+
+
+def point_row(point: PointResult, scale: float) -> Dict[str, object]:
+    """One JSON-ready result row; the unit of the shared result schema.
+
+    Every value is a plain float/str/bool computed deterministically from
+    the point, so two identical simulations serialize byte-identically.
+    """
+    return {
+        "label": point.label,
+        "throughput_mrps": point.throughput_mrps,
+        "full_scale_mrps": point.full_scale_mrps(scale),
+        "mem_bandwidth_gbps": point.mem_bandwidth_gbps,
+        "full_scale_mem_bandwidth_gbps": point.mem_bandwidth_gbps / scale,
+        "mem_accesses_per_request": point.trace.mem_accesses_per_request(),
+        "breakdown": {
+            category.name: value
+            for category, value in sorted(
+                point.breakdown.items(), key=lambda kv: int(kv[0])
+            )
+        },
+        "sim_seconds": point.sim_seconds,
+        "from_cache": point.from_cache,
+    }
+
+
+def _jsonable(value: object) -> bool:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_jsonable(v) for v in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(k, str) and _jsonable(v) for k, v in value.items()
+        )
+    return False
+
+
+def figure_result_to_dict(result: FigureResult) -> Dict[str, object]:
+    """Serialize a :class:`FigureResult` to the shared result schema.
+
+    ``series`` entries that are not plain JSON values (numpy arrays,
+    latency-curve objects) are dropped rather than stringified — the
+    schema promises machine-readable values only.
+    """
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "figure": result.figure,
+        "title": result.title,
+        "scale": result.scale,
+        "rows": [point_row(p, result.scale) for p in result.points],
+        "series": {
+            k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in result.series.items()
+            if _jsonable(v)
+        },
+        "notes": list(result.notes),
+    }
 
 
 def point_spec(

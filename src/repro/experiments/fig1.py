@@ -8,9 +8,9 @@ peak, (c) the per-request memory-access breakdown.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.engine.parallel import run_points
+from repro.engine.parallel import PointSpec, run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
@@ -25,6 +25,29 @@ DDIO_WAYS = (2, 4, 6)
 ITEM_BYTES = 1024
 
 
+def specs(settings: ExperimentSettings) -> List[PointSpec]:
+    """The fig1 grid as a spec list (also built by name via the serve API)."""
+    out = []
+    for buffers in BUFFER_SWEEP:
+        configs = [("dma", 2, False)]
+        configs += [("ddio", w, False) for w in DDIO_WAYS]
+        configs += [("ideal", 2, False)]
+        for policy, ways, sweeper in configs:
+            system = kvs_system(settings.scale, buffers, ways, ITEM_BYTES)
+            label = f"{buffers} bufs / {policy_label(policy, ways, sweeper)}"
+            out.append(
+                point_spec(
+                    label,
+                    system,
+                    kvs_workload(settings.scale, ITEM_BYTES),
+                    policy,
+                    sweeper=sweeper,
+                    settings=settings,
+                )
+            )
+    return out
+
+
 def run(
     scale: Optional[float] = None,
     settings: Optional[ExperimentSettings] = None,
@@ -37,25 +60,7 @@ def run(
         title="KVS throughput/bandwidth/breakdown vs RX buffer provisioning",
         scale=settings.scale,
     )
-    specs = []
-    for buffers in BUFFER_SWEEP:
-        configs = [("dma", 2, False)]
-        configs += [("ddio", w, False) for w in DDIO_WAYS]
-        configs += [("ideal", 2, False)]
-        for policy, ways, sweeper in configs:
-            system = kvs_system(settings.scale, buffers, ways, ITEM_BYTES)
-            label = f"{buffers} bufs / {policy_label(policy, ways, sweeper)}"
-            specs.append(
-                point_spec(
-                    label,
-                    system,
-                    kvs_workload(settings.scale, ITEM_BYTES),
-                    policy,
-                    sweeper=sweeper,
-                    settings=settings,
-                )
-            )
-    result.points.extend(run_points(specs, run_label="fig1"))
+    result.points.extend(run_points(specs(settings), run_label="fig1"))
     result.notes.append(
         "Expected shape: DDIO > DMA in throughput; DDIO's breakdown is "
         "dominated by RX Evct (consumed-buffer evictions) while CPU RX Rd "

@@ -27,7 +27,7 @@ from repro.engine.analytic import (
     service_cycles,
 )
 from repro.engine.events import FiniteRingSimulator
-from repro.engine.parallel import run_points
+from repro.engine.parallel import PointSpec, run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
@@ -84,6 +84,33 @@ def _ring_sim(
     )
 
 
+def _sweep_grid() -> List[Tuple[int, bool]]:
+    return [
+        (buffers, sweeper)
+        for buffers in BUFFER_SWEEP
+        for sweeper in (False, True)
+    ]
+
+
+def specs(settings: ExperimentSettings) -> List[PointSpec]:
+    """The fig10 grid as a spec list (also built by name via the serve API)."""
+    out = []
+    for buffers, sweeper in _sweep_grid():
+        system = kvs_system(settings.scale, buffers, DDIO_WAYS, PACKET_BYTES)
+        label = f"{buffers} bufs" + (" + Sweeper" if sweeper else "")
+        out.append(
+            point_spec(
+                label,
+                system,
+                _spiky_workload(settings.scale),
+                "ddio",
+                sweeper=sweeper,
+                settings=settings,
+            )
+        )
+    return out
+
+
 def run(
     scale: Optional[float] = None,
     settings: Optional[ExperimentSettings] = None,
@@ -98,26 +125,8 @@ def run(
         scale=settings.scale,
     )
 
-    grid = [
-        (buffers, sweeper)
-        for buffers in BUFFER_SWEEP
-        for sweeper in (False, True)
-    ]
-    specs = []
-    for buffers, sweeper in grid:
-        system = kvs_system(settings.scale, buffers, DDIO_WAYS, PACKET_BYTES)
-        label = f"{buffers} bufs" + (" + Sweeper" if sweeper else "")
-        specs.append(
-            point_spec(
-                label,
-                system,
-                _spiky_workload(settings.scale),
-                "ddio",
-                sweeper=sweeper,
-                settings=settings,
-            )
-        )
-    result.points.extend(run_points(specs, run_label="fig10"))
+    grid = _sweep_grid()
+    result.points.extend(run_points(specs(settings), run_label="fig10"))
 
     peaks: Dict[Tuple[int, bool], float] = {}
     for (buffers, sweeper), point in zip(grid, result.points):

@@ -8,9 +8,9 @@ provoking *premature* buffer evictions on top of consumed ones.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.engine.parallel import run_points
+from repro.engine.parallel import PointSpec, run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
@@ -26,6 +26,29 @@ PACKET_BYTES = 1024
 RX_BUFFERS = 2048
 
 
+def specs(settings: ExperimentSettings) -> List[PointSpec]:
+    """The fig2 grid as a spec list (also built by name via the serve API)."""
+    out = []
+    for depth in QUEUE_DEPTHS:
+        configs = [("ddio", w, False) for w in DDIO_WAYS]
+        configs.append(("ideal", 2, False))
+        for policy, ways, sweeper in configs:
+            system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
+            label = f"D={depth} / {policy_label(policy, ways, sweeper)}"
+            out.append(
+                point_spec(
+                    label,
+                    system,
+                    l3fwd_workload(PACKET_BYTES),
+                    policy,
+                    sweeper=sweeper,
+                    queued_depth=depth,
+                    settings=settings,
+                )
+            )
+    return out
+
+
 def run(
     scale: Optional[float] = None,
     settings: Optional[ExperimentSettings] = None,
@@ -38,25 +61,7 @@ def run(
         title="L3fwd with D queued packets per core",
         scale=settings.scale,
     )
-    specs = []
-    for depth in QUEUE_DEPTHS:
-        configs = [("ddio", w, False) for w in DDIO_WAYS]
-        configs.append(("ideal", 2, False))
-        for policy, ways, sweeper in configs:
-            system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
-            label = f"D={depth} / {policy_label(policy, ways, sweeper)}"
-            specs.append(
-                point_spec(
-                    label,
-                    system,
-                    l3fwd_workload(PACKET_BYTES),
-                    policy,
-                    sweeper=sweeper,
-                    queued_depth=depth,
-                    settings=settings,
-                )
-            )
-    result.points.extend(run_points(specs, run_label="fig2"))
+    result.points.extend(run_points(specs(settings), run_label="fig2"))
     result.notes.append(
         "Expected shape: premature evictions (CPU RX Rd) appear and grow "
         "with D, strongest at 2-way DDIO; ideal-DDIO consumes negligible "

@@ -9,9 +9,9 @@ be insensitive to buffer provisioning.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from repro.engine.parallel import run_points
+from repro.engine.parallel import PointSpec, run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
@@ -37,6 +37,33 @@ def point_label(packet: int, buffers: int, policy: str, ways: int, sweeper: bool
     return f"{packet}B / {buffers} bufs / {policy_label(policy, ways, sweeper)}"
 
 
+def specs(
+    settings: ExperimentSettings,
+    packet_sizes: Tuple[int, ...] = PACKET_SIZES,
+    buffer_sweep: Tuple[int, ...] = BUFFER_SWEEP,
+    ddio_ways: Tuple[int, ...] = DDIO_WAYS,
+) -> List[PointSpec]:
+    """The fig5 grid as a spec list (also built by name via the serve API)."""
+    out = []
+    for packet in packet_sizes:
+        for buffers in buffer_sweep:
+            for policy, ways, sweeper in configs():
+                if policy == "ddio" and ways not in ddio_ways:
+                    continue
+                system = kvs_system(settings.scale, buffers, ways, packet)
+                out.append(
+                    point_spec(
+                        point_label(packet, buffers, policy, ways, sweeper),
+                        system,
+                        kvs_workload(settings.scale, packet),
+                        policy,
+                        sweeper=sweeper,
+                        settings=settings,
+                    )
+                )
+    return out
+
+
 def run(
     scale: Optional[float] = None,
     settings: Optional[ExperimentSettings] = None,
@@ -52,24 +79,12 @@ def run(
         title="DDIO ways x Sweeper across packet sizes and buffer depths",
         scale=settings.scale,
     )
-    specs = []
-    for packet in packet_sizes:
-        for buffers in buffer_sweep:
-            for policy, ways, sweeper in configs():
-                if policy == "ddio" and ways not in ddio_ways:
-                    continue
-                system = kvs_system(settings.scale, buffers, ways, packet)
-                specs.append(
-                    point_spec(
-                        point_label(packet, buffers, policy, ways, sweeper),
-                        system,
-                        kvs_workload(settings.scale, packet),
-                        policy,
-                        sweeper=sweeper,
-                        settings=settings,
-                    )
-                )
-    result.points.extend(run_points(specs, run_label="fig5"))
+    result.points.extend(
+        run_points(
+            specs(settings, packet_sizes, buffer_sweep, ddio_ways),
+            run_label="fig5",
+        )
+    )
     sweeper_gains = []
     for packet in packet_sizes:
         for buffers in buffer_sweep:

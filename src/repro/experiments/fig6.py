@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.engine.analytic import bandwidth_gbps, perf_at_load
-from repro.engine.parallel import run_points
+from repro.engine.parallel import PointSpec, run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
@@ -64,6 +64,25 @@ def _curve(label, system, profile, throughput) -> LatencyCurve:
     )
 
 
+def specs(settings: ExperimentSettings) -> List[PointSpec]:
+    """The fig6 grid as a spec list (also built by name via the serve API)."""
+    out = []
+    for ways, sweeper in CONFIGS:
+        system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
+        label = policy_label("ddio", ways, sweeper)
+        out.append(
+            point_spec(
+                label,
+                system,
+                kvs_workload(settings.scale, PACKET_BYTES),
+                "ddio",
+                sweeper=sweeper,
+                settings=settings,
+            )
+        )
+    return out
+
+
 def run(
     scale: Optional[float] = None,
     settings: Optional[ExperimentSettings] = None,
@@ -76,21 +95,7 @@ def run(
         title="Memory access latency CDFs (peak and iso-throughput)",
         scale=settings.scale,
     )
-    specs = []
-    for ways, sweeper in CONFIGS:
-        system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
-        label = policy_label("ddio", ways, sweeper)
-        specs.append(
-            point_spec(
-                label,
-                system,
-                kvs_workload(settings.scale, PACKET_BYTES),
-                "ddio",
-                sweeper=sweeper,
-                settings=settings,
-            )
-        )
-    result.points.extend(run_points(specs, run_label="fig6"))
+    result.points.extend(run_points(specs(settings), run_label="fig6"))
 
     at_peak: List[LatencyCurve] = []
     iso: List[LatencyCurve] = []

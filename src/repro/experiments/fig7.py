@@ -9,9 +9,9 @@ is one that is later demanded by the CPU (a premature eviction).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.engine.parallel import run_points
+from repro.engine.parallel import PointSpec, run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
@@ -28,6 +28,39 @@ PACKET_BYTES = 1024
 RX_BUFFERS = 2048
 
 
+def specs(settings: ExperimentSettings) -> List[PointSpec]:
+    """The fig7 grid as a spec list (also built by name via the serve API)."""
+    out = []
+    for depth in QUEUE_DEPTHS:
+        for ways in DDIO_WAYS:
+            for sweeper in (False, True):
+                system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
+                label = f"D={depth} / {policy_label('ddio', ways, sweeper)}"
+                out.append(
+                    point_spec(
+                        label,
+                        system,
+                        l3fwd_workload(PACKET_BYTES),
+                        "ddio",
+                        sweeper=sweeper,
+                        queued_depth=depth,
+                        settings=settings,
+                    )
+                )
+        system = kvs_system(settings.scale, RX_BUFFERS, 2, PACKET_BYTES)
+        out.append(
+            point_spec(
+                f"D={depth} / Ideal DDIO",
+                system,
+                l3fwd_workload(PACKET_BYTES),
+                "ideal",
+                queued_depth=depth,
+                settings=settings,
+            )
+        )
+    return out
+
+
 def run(
     scale: Optional[float] = None,
     settings: Optional[ExperimentSettings] = None,
@@ -40,35 +73,7 @@ def run(
         title="Sweeper under premature buffer evictions (deep queues)",
         scale=settings.scale,
     )
-    specs = []
-    for depth in QUEUE_DEPTHS:
-        for ways in DDIO_WAYS:
-            for sweeper in (False, True):
-                system = kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES)
-                label = f"D={depth} / {policy_label('ddio', ways, sweeper)}"
-                specs.append(
-                    point_spec(
-                        label,
-                        system,
-                        l3fwd_workload(PACKET_BYTES),
-                        "ddio",
-                        sweeper=sweeper,
-                        queued_depth=depth,
-                        settings=settings,
-                    )
-                )
-        system = kvs_system(settings.scale, RX_BUFFERS, 2, PACKET_BYTES)
-        specs.append(
-            point_spec(
-                f"D={depth} / Ideal DDIO",
-                system,
-                l3fwd_workload(PACKET_BYTES),
-                "ideal",
-                queued_depth=depth,
-                settings=settings,
-            )
-        )
-    result.points.extend(run_points(specs, run_label="fig7"))
+    result.points.extend(run_points(specs(settings), run_label="fig7"))
 
     gains = []
     residual_match = []

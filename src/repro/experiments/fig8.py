@@ -12,10 +12,10 @@ of the paper re-running the simulator per memory configuration.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.engine.analytic import solve_peak_throughput
-from repro.engine.parallel import run_points
+from repro.engine.parallel import PointSpec, run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
@@ -31,6 +31,35 @@ DDIO_WAYS = (2, 6, 12)
 CHANNELS = (3, 4, 8)
 
 
+def _grid(settings: ExperimentSettings) -> List[Tuple]:
+    out = []
+    for packet, buffers in SCENARIOS:
+        configs = [("ddio", w, s) for w in DDIO_WAYS for s in (False, True)]
+        configs.append(("ideal", 2, False))
+        for policy, ways, sweeper in configs:
+            base_system = kvs_system(settings.scale, buffers, ways, packet)
+            out.append((packet, buffers, policy, ways, sweeper, base_system))
+    return out
+
+
+def specs(settings: ExperimentSettings) -> List[PointSpec]:
+    """The fig8 base grid as a spec list (channel re-solving happens in
+    :func:`run`; the serve API serves the traced base points)."""
+    return [
+        point_spec(
+            f"{packet}B/{buffers} bufs / {policy_label(policy, ways, sweeper)}",
+            base_system,
+            kvs_workload(settings.scale, packet),
+            policy,
+            sweeper=sweeper,
+            settings=settings,
+        )
+        for packet, buffers, policy, ways, sweeper, base_system in _grid(
+            settings
+        )
+    ]
+
+
 def run(
     scale: Optional[float] = None,
     settings: Optional[ExperimentSettings] = None,
@@ -43,26 +72,8 @@ def run(
         title="Peak throughput vs memory channel provisioning",
         scale=settings.scale,
     )
-    grid = []
-    specs = []
-    for packet, buffers in SCENARIOS:
-        configs = [("ddio", w, s) for w in DDIO_WAYS for s in (False, True)]
-        configs.append(("ideal", 2, False))
-        for policy, ways, sweeper in configs:
-            base_system = kvs_system(settings.scale, buffers, ways, packet)
-            grid.append((packet, buffers, policy, ways, sweeper, base_system))
-            specs.append(
-                point_spec(
-                    f"{packet}B/{buffers} bufs / "
-                    f"{policy_label(policy, ways, sweeper)}",
-                    base_system,
-                    kvs_workload(settings.scale, packet),
-                    policy,
-                    sweeper=sweeper,
-                    settings=settings,
-                )
-            )
-    bases = run_points(specs, run_label="fig8")
+    grid = _grid(settings)
+    bases = run_points(specs(settings), run_label="fig8")
     for (packet, buffers, policy, ways, sweeper, base_system), base in zip(
         grid, bases
     ):

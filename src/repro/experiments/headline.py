@@ -12,10 +12,10 @@ traffic per unit of work (bytes per request), baseline over Sweeper.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.engine.analytic import solve_peak_throughput
-from repro.engine.parallel import run_points
+from repro.engine.parallel import PointSpec, run_points
 from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
@@ -31,6 +31,22 @@ DDIO_WAYS = (2, 6, 12)
 CHANNELS = (3, 4)
 
 
+def specs(settings: ExperimentSettings) -> List[PointSpec]:
+    """The headline grid as a spec list (also built by name via the serve API)."""
+    return [
+        point_spec(
+            policy_label("ddio", ways, sweeper),
+            kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES),
+            kvs_workload(settings.scale, PACKET_BYTES),
+            "ddio",
+            sweeper=sweeper,
+            settings=settings,
+        )
+        for ways in DDIO_WAYS
+        for sweeper in (False, True)
+    ]
+
+
 def run(
     scale: Optional[float] = None,
     settings: Optional[ExperimentSettings] = None,
@@ -43,19 +59,7 @@ def run(
         title="Abstract claims: bandwidth savings and throughput gains",
         scale=settings.scale,
     )
-    specs = [
-        point_spec(
-            policy_label("ddio", ways, sweeper),
-            kvs_system(settings.scale, RX_BUFFERS, ways, PACKET_BYTES),
-            kvs_workload(settings.scale, PACKET_BYTES),
-            "ddio",
-            sweeper=sweeper,
-            settings=settings,
-        )
-        for ways in DDIO_WAYS
-        for sweeper in (False, True)
-    ]
-    result.points.extend(run_points(specs, run_label="headline"))
+    result.points.extend(run_points(specs(settings), run_label="headline"))
 
     throughput_gain = []
     bandwidth_saving = []

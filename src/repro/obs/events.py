@@ -13,6 +13,13 @@ Environment contract (documented in README):
   runs); ``off`` is an explicit synonym for unset.
 * ``REPRO_LOG_LEVEL`` — ``debug``/``info``/``warning``/``error``
   (default ``info``).
+* ``REPRO_LOG_FILE`` — append event lines to this file instead of
+  stderr (the ``repro.serve`` daemon uses it for durable event
+  history). Setting it also enables the log in ``text`` mode when
+  ``REPRO_LOG`` is unset (an explicit ``REPRO_LOG=off`` still wins).
+  The file is opened with ``O_APPEND`` and each event is flushed as one
+  contiguous chunk, preserving the no-interleave guarantee across
+  worker processes appending to the same file.
 
 Forced events (``force=True``) bypass the disabled state but still
 honour the rendering mode — this is how ``REPRO_PROFILE`` output keeps
@@ -51,6 +58,16 @@ class EventLog:
         self.level = level
         self.stream = stream if stream is not None else sys.stderr
         self._t0 = time.perf_counter()
+        #: set when from_env opened a REPRO_LOG_FILE stream for us
+        self._owns_stream = False
+
+    def close(self) -> None:
+        """Close a stream this log opened itself (REPRO_LOG_FILE)."""
+        if self._owns_stream:
+            try:
+                self.stream.close()
+            except OSError:
+                pass
 
     @property
     def enabled(self) -> bool:
@@ -133,16 +150,27 @@ def _fmt(value: Any) -> str:
 
 
 def from_env(stream: Optional[TextIO] = None) -> EventLog:
-    """Build an :class:`EventLog` from ``REPRO_LOG``/``REPRO_LOG_LEVEL``."""
+    """Build an :class:`EventLog` from the ``REPRO_LOG*`` knobs."""
     raw = os.environ.get("REPRO_LOG", "").strip().lower()
+    log_file = os.environ.get("REPRO_LOG_FILE", "").strip()
     mode: Optional[str]
     if raw in ("", "off", "0", "none"):
-        mode = None
+        # A log file without an explicit mode means "log, as text":
+        # daemons set only REPRO_LOG_FILE and still get durable history.
+        mode = "text" if (log_file and raw == "") else None
     elif raw in ("text", "json"):
         mode = raw
     else:
         raise ConfigError(f"REPRO_LOG must be 'text' or 'json', got {raw!r}")
     level = os.environ.get("REPRO_LOG_LEVEL", "info").strip().lower()
+    if stream is None and log_file:
+        try:
+            stream = open(log_file, "a", encoding="utf-8")
+        except OSError as exc:
+            raise ConfigError(f"cannot open REPRO_LOG_FILE {log_file!r}: {exc}")
+        log = EventLog(mode=mode, level=level, stream=stream)
+        log._owns_stream = True
+        return log
     return EventLog(mode=mode, level=level, stream=stream)
 
 
@@ -153,8 +181,14 @@ _log_env: Optional[tuple] = None
 def get_event_log() -> EventLog:
     """Process-wide logger, rebuilt if the env knobs changed (tests)."""
     global _log, _log_env
-    env = (os.environ.get("REPRO_LOG"), os.environ.get("REPRO_LOG_LEVEL"))
+    env = (
+        os.environ.get("REPRO_LOG"),
+        os.environ.get("REPRO_LOG_LEVEL"),
+        os.environ.get("REPRO_LOG_FILE"),
+    )
     if _log is None or env != _log_env:
+        if _log is not None:
+            _log.close()
         _log = from_env()
         _log_env = env
     return _log

@@ -44,6 +44,8 @@ _ENV_KEYS = (
     "REPRO_LOG_LEVEL",
     "REPRO_NO_CACHE",
     "REPRO_CACHE_DIR",
+    "REPRO_CACHE_MAX_MB",
+    "REPRO_LOG_FILE",
     "REPRO_PROFILE",
     "REPRO_RUNS_DIR",
 )

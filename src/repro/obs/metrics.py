@@ -39,6 +39,13 @@ DEFAULT_BUCKETS = (
 DEFAULT_MAX_LABEL_SETS = 1024
 
 
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers without a trailing ``.0``."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
 def sample_name(name: str, labels: Optional[Dict[str, str]] = None) -> str:
     """Flat sample key: ``name`` or ``name{k="v",...}`` (sorted keys)."""
     if not labels:
@@ -355,3 +362,25 @@ class MetricsRegistry:
 
     def names(self) -> List[str]:
         return sorted(self._families)
+
+    def render_text(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Runs collectors (like :meth:`collect`), then emits one
+        ``# HELP``/``# TYPE`` header pair per family followed by its
+        samples. ``GET /metrics`` on the serve daemon returns exactly
+        this string.
+        """
+        if not self.enabled:
+            return ""
+        for collector in self._collectors:
+            collector(self)
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, value in sorted(family.samples().items()):
+                lines.append(f"{key} {_format_value(value)}")
+        return "\n".join(lines) + "\n" if lines else ""

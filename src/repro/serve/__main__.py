@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.serve [--host H --port P ...]``."""
+
+import sys
+
+from repro.serve.app import main
+
+if __name__ == "__main__":
+    sys.exit(main())

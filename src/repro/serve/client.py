@@ -1,0 +1,149 @@
+"""Minimal stdlib client for the ``repro.serve`` HTTP API.
+
+Used by the end-to-end tests and the CI smoke job; handy interactively::
+
+    from repro.serve.client import ServeClient
+    c = ServeClient("http://127.0.0.1:8337")
+    job = c.submit_experiment("fig1", scale=0.05)
+    snapshot = c.wait(job["id"])
+    rows = c.result(job["id"])["rows"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+
+
+class ServeError(ConfigError):
+    """Non-2xx API response; carries the HTTP status and parsed body."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        raw: bool = False,
+    ) -> Any:
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                body = resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode()
+            try:
+                parsed = json.loads(body)
+            except json.JSONDecodeError:
+                parsed = body
+            raise ServeError(exc.code, parsed)
+        if raw:
+            return body
+        return json.loads(body)
+
+    # -- API ------------------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /jobs`` with an explicit body."""
+        return self._request("POST", "/jobs", payload)
+
+    def submit_experiment(
+        self,
+        name: str,
+        scale: Optional[float] = None,
+        measure: Optional[float] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"experiment": name, "priority": priority}
+        if scale is not None:
+            payload["scale"] = scale
+        if measure is not None:
+            payload["measure"] = measure
+        return self.submit(payload)
+
+    def submit_points(
+        self,
+        points: List[Dict[str, Any]],
+        scale: Optional[float] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"points": points, "priority": priority}
+        if scale is not None:
+            payload["scale"] = scale
+        return self.submit(payload)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def events(self, job_id: str, cursor: int = 0) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/events?cursor={cursor}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics", raw=True)
+
+    def metrics(self) -> Dict[str, float]:
+        """Parsed ``/metrics`` samples: ``{sample_name: value}``."""
+        out: Dict[str, float] = {}
+        for line in self.metrics_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            key, _, value = line.rpartition(" ")
+            try:
+                out[key] = float(value)
+            except ValueError:
+                continue
+        return out
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_seconds: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ConfigError(
+                    f"job {job_id} still {snapshot['state']} after {timeout}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,296 @@
+"""Job model for the ``repro.serve`` daemon.
+
+A *job* is one client-submitted unit of work: either a named experiment
+grid (``{"experiment": "fig1", "scale": 0.05}`` — built through the
+same spec builders the figure harnesses use, so a served job simulates
+exactly what a local run would) or an explicit list of point
+descriptions (``{"points": [{...}, ...]}`` in the vocabulary of
+:func:`repro.experiments.common.point_spec`).
+
+Jobs move through ``queued -> running -> done`` (or ``failed`` /
+``cancelled``). Every state change and per-point completion is recorded
+as a monotonically numbered event, which ``GET /jobs/<id>/events``
+exposes for cursor-based polling. The finished job's result serializes
+to the same JSON schema ``python -m repro.experiments <fig> --json``
+emits (:func:`repro.experiments.common.point_row`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.parallel import PointSpec
+from repro.errors import ConfigError
+
+#: every state a job can be in; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class BadRequest(ConfigError):
+    """Client-side error in a job submission (rendered as HTTP 400)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BadRequest(message)
+
+
+class JobRequest:
+    """Validated submission: a named spec list plus scheduling knobs."""
+
+    def __init__(
+        self,
+        name: str,
+        specs: List[PointSpec],
+        scale: float,
+        priority: int = 0,
+    ) -> None:
+        self.name = name
+        self.specs = specs
+        self.scale = scale
+        self.priority = priority
+
+
+def _number(payload: Dict[str, Any], key: str, default: float) -> float:
+    value = payload.get(key, default)
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{key!r} must be a number",
+    )
+    return float(value)
+
+
+def _build_point(entry: Dict[str, Any], default_scale: float) -> PointSpec:
+    """One explicit point in the ``point_spec`` vocabulary."""
+    from repro.experiments.common import (
+        ExperimentSettings,
+        kvs_system,
+        kvs_workload,
+        l3fwd_workload,
+        point_spec,
+    )
+
+    _require(isinstance(entry, dict), "each point must be an object")
+    workload_kind = entry.get("workload", "kvs")
+    _require(
+        workload_kind in ("kvs", "l3fwd"),
+        f"point workload must be 'kvs' or 'l3fwd', got {workload_kind!r}",
+    )
+    scale = _number(entry, "scale", default_scale)
+    _require(0 < scale <= 1, "point 'scale' must be in (0, 1]")
+    buffers = int(_number(entry, "buffers", 512))
+    ways = int(_number(entry, "ways", 2))
+    packet_bytes = int(_number(entry, "packet_bytes", 1024))
+    policy = entry.get("policy", "ddio")
+    _require(
+        policy in ("dma", "ddio", "ideal"),
+        f"point policy must be dma/ddio/ideal, got {policy!r}",
+    )
+    label = entry.get("label") or (
+        f"{workload_kind}/{packet_bytes}B/{buffers} bufs/{policy}{ways}"
+    )
+    _require(isinstance(label, str), "point 'label' must be a string")
+    system = kvs_system(scale, buffers, ways, packet_bytes)
+    if workload_kind == "kvs":
+        workload = kvs_workload(scale, packet_bytes)
+    else:
+        workload = l3fwd_workload(packet_bytes)
+    settings = ExperimentSettings(
+        scale=scale, measure_multiplier=_number(entry, "measure", 1.0)
+    )
+    return point_spec(
+        label,
+        system,
+        workload,
+        policy,
+        sweeper=bool(entry.get("sweeper", False)),
+        queued_depth=int(_number(entry, "queued_depth", 1)),
+        settings=settings,
+        nic_tx_sweep=bool(entry.get("nic_tx_sweep", False)),
+        seed=int(_number(entry, "seed", 42)),
+    )
+
+
+def parse_job_request(payload: Any) -> JobRequest:
+    """Validate a ``POST /jobs`` body into a :class:`JobRequest`.
+
+    Raises :class:`BadRequest` (HTTP 400) on any malformed field; an
+    unknown experiment name lists the servable ids in the message.
+    """
+    from repro.experiments import SPEC_BUILDERS
+    from repro.experiments.common import DEFAULT_SCALE, ExperimentSettings
+
+    _require(isinstance(payload, dict), "job body must be a JSON object")
+    priority = payload.get("priority", 0)
+    _require(
+        isinstance(priority, int) and not isinstance(priority, bool),
+        "'priority' must be an integer",
+    )
+    has_experiment = "experiment" in payload
+    has_points = "points" in payload
+    _require(
+        has_experiment != has_points,
+        "exactly one of 'experiment' or 'points' is required",
+    )
+    scale = _number(payload, "scale", DEFAULT_SCALE)
+    _require(0 < scale <= 1, "'scale' must be in (0, 1]")
+    if has_experiment:
+        name = payload["experiment"]
+        _require(
+            isinstance(name, str) and name in SPEC_BUILDERS,
+            f"unknown experiment {payload['experiment']!r}; servable: "
+            + ", ".join(sorted(SPEC_BUILDERS)),
+        )
+        measure = _number(payload, "measure", 1.0)
+        _require(measure > 0, "'measure' must be > 0")
+        settings = ExperimentSettings(scale=scale, measure_multiplier=measure)
+        specs = SPEC_BUILDERS[name](settings)
+        return JobRequest(name, specs, scale, priority=priority)
+    points = payload["points"]
+    _require(
+        isinstance(points, list) and points,
+        "'points' must be a non-empty list",
+    )
+    specs = [_build_point(entry, scale) for entry in points]
+    labels = [s.label for s in specs]
+    _require(
+        len(labels) == len(set(labels)), "point labels must be unique"
+    )
+    return JobRequest("points", specs, scale, priority=priority)
+
+
+class Job:
+    """One scheduled unit of work; all mutation goes through its lock."""
+
+    def __init__(self, request: JobRequest) -> None:
+        self.id = f"job-{uuid.uuid4().hex[:12]}"
+        self.request = request
+        self.state = "queued"
+        self.error: Optional[str] = None
+        self.run_id: Optional[str] = None
+        self.created_unix = time.time()
+        self.started_unix: Optional[float] = None
+        self.finished_unix: Optional[float] = None
+        self.done_points = 0
+        self.cached_points = 0
+        self.deduped_points = 0
+        self.simulated_points = 0
+        self.results: List[Any] = []
+        self.cancel_requested = False
+        self._events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self.add_event(
+            "job.submitted",
+            name=request.name,
+            points=len(request.specs),
+            priority=request.priority,
+        )
+
+    # -- events ---------------------------------------------------------
+
+    def add_event(self, event: str, **fields: Any) -> None:
+        with self._lock:
+            record = {
+                "seq": len(self._events),
+                "ts": time.time(),
+                "event": event,
+            }
+            record.update(fields)
+            self._events.append(record)
+
+    def events_since(self, cursor: int) -> Tuple[List[Dict[str, Any]], int]:
+        """Events with seq >= cursor, plus the next cursor to poll with."""
+        if cursor < 0:
+            raise BadRequest("'cursor' must be >= 0")
+        with self._lock:
+            return list(self._events[cursor:]), len(self._events)
+
+    # -- state transitions (called by the scheduler) --------------------
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.state = "running"
+            self.started_unix = time.time()
+        self.add_event("job.started")
+
+    def finish(self, state: str, error: Optional[str] = None) -> None:
+        with self._lock:
+            if self.state in TERMINAL_STATES:
+                return
+            self.state = state
+            self.error = error
+            self.finished_unix = time.time()
+        fields = {"state": state}
+        if error:
+            fields["error"] = error
+        self.add_event("job.finished", **fields)
+
+    def point_done(self, label: str, source: str, sim_seconds: float) -> None:
+        """Record one completed point (source: simulated|cache|dedup)."""
+        with self._lock:
+            self.done_points += 1
+            if source == "cache":
+                self.cached_points += 1
+            elif source == "dedup":
+                self.deduped_points += 1
+            else:
+                self.simulated_points += 1
+            done, total = self.done_points, len(self.request.specs)
+        self.add_event(
+            "point.finish",
+            label=label,
+            source=source,
+            sim_s=round(sim_seconds, 6),
+            done=f"{done}/{total}",
+        )
+
+    # -- serialization --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """State + progress, the ``GET /jobs/<id>`` body."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "name": self.request.name,
+                "state": self.state,
+                "priority": self.request.priority,
+                "error": self.error,
+                "run_id": self.run_id,
+                "created_unix": self.created_unix,
+                "started_unix": self.started_unix,
+                "finished_unix": self.finished_unix,
+                "total_points": len(self.request.specs),
+                "done_points": self.done_points,
+                "cached_points": self.cached_points,
+                "deduped_points": self.deduped_points,
+                "simulated_points": self.simulated_points,
+                "events": len(self._events),
+            }
+
+    def result_dict(self) -> Dict[str, Any]:
+        """The shared result schema (identical to the CLI's ``--json``)."""
+        from repro.experiments.common import (
+            RESULT_SCHEMA_VERSION,
+            point_row,
+        )
+
+        with self._lock:
+            if self.state != "done":
+                raise ConfigError(
+                    f"job {self.id} has no result (state={self.state})"
+                )
+            return {
+                "schema": RESULT_SCHEMA_VERSION,
+                "figure": self.request.name,
+                "title": f"repro.serve job {self.id}",
+                "scale": self.request.scale,
+                "rows": [
+                    point_row(p, self.request.scale) for p in self.results
+                ],
+                "series": {},
+                "notes": [],
+            }

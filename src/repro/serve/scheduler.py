@@ -1,0 +1,373 @@
+"""Priority job scheduler with admission control and in-flight dedup.
+
+The scheduler owns three pieces of shared state, all guarded by one
+lock:
+
+* a **priority queue** of submitted jobs — higher ``priority`` first,
+  FIFO within a priority (heap keyed ``(-priority, seq)``). Admission
+  control bounds it: submissions beyond ``queue_limit`` waiting jobs
+  raise :class:`QueueFull`, which the HTTP layer renders as 429.
+* an **in-flight table** ``fingerprint -> Future`` keyed by
+  :func:`repro.engine.pointcache.fingerprint`. When two jobs need the
+  same point, the second *attaches* to the first's future instead of
+  simulating again — cross-job dedup. Completed simulations are stored
+  into the persistent point cache, so later identical submissions hit
+  the cache without simulating at all.
+* the **job table** ``id -> Job`` for the API's lookups.
+
+Execution reuses the exact worker entry point of
+:func:`repro.engine.parallel.run_points` (``run_spec``), fanned out over
+a ``ProcessPoolExecutor`` (``REPRO_WORKERS`` > 1) or an in-process
+single thread (``REPRO_WORKERS=1``); either way a served point is
+bit-identical to a local run. Each job writes the usual run manifest
+via the helpers shared with ``run_points``.
+
+Cancellation: a queued job is dropped before it starts; a running job
+stops waiting at the next point boundary. Points already handed to the
+executor run to completion (their results still land in the point
+cache — they may be shared with other jobs), they are just no longer
+waited on.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine import pointcache
+from repro.engine.parallel import (
+    default_workers,
+    finish_manifest,
+    run_spec,
+    start_manifest,
+)
+from repro.obs import events as obs_events
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.jobs import Job, JobRequest
+
+DEFAULT_QUEUE_LIMIT = 64
+DEFAULT_MAX_CONCURRENT_JOBS = 4
+
+
+class QueueFull(Exception):
+    """Admission control rejected a submission (HTTP 429)."""
+
+
+class UnknownJob(KeyError):
+    """No job with the given id (HTTP 404)."""
+
+
+class JobScheduler:
+    """Schedules jobs onto a shared simulation executor."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        max_concurrent_jobs: int = DEFAULT_MAX_CONCURRENT_JOBS,
+        registry: Optional[MetricsRegistry] = None,
+        simulate=run_spec,
+    ) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        self.queue_limit = queue_limit
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._simulate = simulate
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = 0
+        self._queued = 0
+        self._running = 0
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Future] = {}
+        self._stopping = False
+        self._dispatcher: Optional[threading.Thread] = None
+        self._job_threads: List[threading.Thread] = []
+        self._executor = None
+        self._log = obs_events.get_event_log()
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        r = self.registry
+        self.m_queue_depth = r.gauge(
+            "serve_queue_depth", "jobs waiting in the scheduler queue"
+        )
+        self.m_running_jobs = r.gauge(
+            "serve_running_jobs", "jobs currently executing"
+        )
+        self.m_submitted = r.counter(
+            "serve_jobs_submitted_total", "jobs accepted into the queue"
+        )
+        self.m_rejected = r.counter(
+            "serve_jobs_rejected_total",
+            "jobs rejected by admission control (429)",
+        )
+        self.m_finished = r.counter(
+            "serve_jobs_finished_total",
+            "jobs reaching a terminal state",
+            labels=("state",),
+        )
+        self.m_points = r.counter(
+            "serve_points_total", "points served, by provenance",
+            labels=("source",),
+        )
+        self.m_job_seconds = r.histogram(
+            "serve_job_seconds", "wall-clock seconds per finished job"
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Create the executor and dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._dispatcher is not None:
+                return
+            if self.workers > 1:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                # Single-worker mode stays in-process: no pool spawn cost
+                # and injectable simulate callables (tests).
+                self._executor = ThreadPoolExecutor(max_workers=1)
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop dispatching; running simulations are abandoned."""
+        with self._lock:
+            self._stopping = True
+            self._wake.notify_all()
+            dispatcher = self._dispatcher
+            threads = list(self._job_threads)
+            executor = self._executor
+        if wait and dispatcher is not None:
+            dispatcher.join(timeout=10)
+        for thread in threads:
+            if wait:
+                thread.join(timeout=10)
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- submission / lookup / cancel -----------------------------------
+
+    def submit(self, request: JobRequest) -> Job:
+        """Queue a job; raises :class:`QueueFull` beyond ``queue_limit``."""
+        with self._lock:
+            if self._queued >= self.queue_limit:
+                self.m_rejected.inc()
+                raise QueueFull(
+                    f"queue full ({self._queued}/{self.queue_limit} jobs waiting)"
+                )
+            job = Job(request)
+            self._jobs[job.id] = job
+            self._seq += 1
+            heapq.heappush(
+                self._heap, (-request.priority, self._seq, job)
+            )
+            self._queued += 1
+            self.m_queue_depth.set(self._queued)
+            self.m_submitted.inc()
+            self._wake.notify_all()
+        self._log.info(
+            "serve.job.submitted",
+            job=job.id,
+            name=request.name,
+            points=len(request.specs),
+            priority=request.priority,
+        )
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(job_id)
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda j: j.created_unix
+            )
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or running job (terminal jobs are a no-op)."""
+        job = self.get(job_id)
+        with self._lock:
+            job.cancel_requested = True
+            if job.state == "queued":
+                # Lazy heap deletion: the dispatcher skips cancelled jobs.
+                self._queued -= 1
+                self.m_queue_depth.set(self._queued)
+                finish_now = True
+            else:
+                finish_now = False
+        if finish_now:
+            job.finish("cancelled")
+            self.m_finished.labels(state="cancelled").inc()
+        self._log.info("serve.job.cancel", job=job.id, state=job.state)
+        return job
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts by state (for /healthz)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        out = {state: 0 for state in ("queued", "running", "done", "failed", "cancelled")}
+        for job in jobs:
+            out[job.state] = out.get(job.state, 0) + 1
+        return out
+
+    # -- dispatch -------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._stopping and not (
+                    self._heap and self._running < self.max_concurrent_jobs
+                ):
+                    self._wake.wait(timeout=0.5)
+                if self._stopping:
+                    return
+                _prio, _seq, job = heapq.heappop(self._heap)
+                if job.cancel_requested or job.state != "queued":
+                    continue  # lazily deleted entry
+                self._queued -= 1
+                self._running += 1
+                self.m_queue_depth.set(self._queued)
+                self.m_running_jobs.set(self._running)
+                thread = threading.Thread(
+                    target=self._run_job_thread,
+                    args=(job,),
+                    name=f"serve-{job.id}",
+                    daemon=True,
+                )
+                self._job_threads.append(thread)
+            thread.start()
+
+    def _run_job_thread(self, job: Job) -> None:
+        try:
+            self._run_job(job)
+        except BaseException as exc:  # defensive: never kill the daemon
+            job.finish("failed", error=f"{type(exc).__name__}: {exc}")
+            self.m_finished.labels(state="failed").inc()
+        finally:
+            with self._lock:
+                self._running -= 1
+                self.m_running_jobs.set(self._running)
+                self._job_threads = [
+                    t for t in self._job_threads
+                    if t is not threading.current_thread()
+                ]
+                self._wake.notify_all()
+
+    # -- per-job execution ----------------------------------------------
+
+    def _acquire_point(
+        self, spec, run_dir: Optional[str]
+    ) -> Tuple[str, Optional[object], Optional[Future], bool]:
+        """Resolve one spec to (source, result, future, owner).
+
+        Cache hit -> ("cache", result, None, False); in-flight identical
+        simulation -> ("dedup", None, future, False); otherwise submit a
+        fresh simulation -> ("simulated", None, future, True).
+        """
+        fp = pointcache.fingerprint(spec)
+        if pointcache.cache_enabled():
+            cached = pointcache.load(fp)
+            if cached is not None:
+                cached.label = spec.label
+                cached.from_cache = True
+                cached.timeline_file = None
+                return "cache", cached, None, False
+        with self._lock:
+            future = self._inflight.get(fp)
+            if future is not None:
+                return "dedup", None, future, False
+            future = self._executor.submit(self._simulate, spec, run_dir)
+            self._inflight[fp] = future
+        future.add_done_callback(
+            lambda fut, fp=fp: self._point_finished(fp, fut)
+        )
+        return "simulated", None, future, True
+
+    def _point_finished(self, fp: str, future: Future) -> None:
+        """Executor callback: retire the in-flight entry, persist result."""
+        with self._lock:
+            self._inflight.pop(fp, None)
+        if future.cancelled() or future.exception() is not None:
+            return
+        if pointcache.cache_enabled():
+            try:
+                pointcache.store(fp, future.result())
+            except Exception:
+                pass  # a failed store is only a lost cache entry
+
+    def _run_job(self, job: Job) -> None:
+        job.mark_running()
+        t0 = time.perf_counter()
+        manifest, run_dir = start_manifest(
+            f"serve-{job.request.name}", self.workers
+        )
+        if manifest is not None:
+            job.run_id = manifest.run_id
+        run_dir_arg = str(run_dir) if run_dir is not None else None
+        specs = job.request.specs
+        pending: List[Tuple[int, str, Optional[object], Optional[Future], bool]] = []
+        for index, spec in enumerate(specs):
+            if job.cancel_requested:
+                break
+            pending.append(
+                (index, *self._acquire_point(spec, run_dir_arg))
+            )
+        results: List[Optional[object]] = [None] * len(specs)
+        failure: Optional[str] = None
+        for index, source, result, future, owner in pending:
+            if job.cancel_requested or failure is not None:
+                break
+            spec = specs[index]
+            if future is not None:
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    failure = f"point {spec.label!r}: {type(exc).__name__}: {exc}"
+                    continue
+                if not owner:
+                    # Shared with the owning job: take a private copy and
+                    # stamp our label; we did not pay for the simulation.
+                    result = copy.copy(result)
+                    result.label = spec.label
+                    result.from_cache = True
+                    result.timeline_file = None
+            results[index] = result
+            self.m_points.labels(source=source).inc()
+            job.point_done(spec.label, source, result.sim_seconds)
+        wall = time.perf_counter() - t0
+        if job.cancel_requested:
+            job.finish("cancelled")
+            self.m_finished.labels(state="cancelled").inc()
+            return
+        if failure is not None:
+            job.finish("failed", error=failure)
+            self.m_finished.labels(state="failed").inc()
+            return
+        job.results = [r for r in results if r is not None]
+        if manifest is not None and run_dir is not None:
+            finish_manifest(manifest, run_dir, specs, job.results, wall)
+        job.finish("done")
+        self.m_finished.labels(state="done").inc()
+        self.m_job_seconds.observe(wall)
+        self._log.info(
+            "serve.job.finish",
+            job=job.id,
+            name=job.request.name,
+            points=len(job.results),
+            cached=job.cached_points,
+            deduped=job.deduped_points,
+            wall_s=wall,
+        )

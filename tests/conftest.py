@@ -89,8 +89,10 @@ def _isolate_observability(tmp_path_factory):
     for var in (
         "REPRO_EPOCH",
         "REPRO_LOG",
+        "REPRO_LOG_FILE",
         "REPRO_LOG_LEVEL",
         "REPRO_NO_MANIFEST",
+        "REPRO_CACHE_MAX_MB",
     ):
         mp.delenv(var, raising=False)
     yield

@@ -492,3 +492,56 @@ def test_fig1_epoch_timelines_match_aggregates(tmp_path, monkeypatch):
         assert _summed_dirty_deltas(records) == aggregate
         checked += 1
     assert checked == len(result.points)
+
+
+class TestLogFile:
+    """REPRO_LOG_FILE: durable event history for daemons."""
+
+    def test_log_file_enables_text_mode(self, tmp_path, monkeypatch):
+        path = tmp_path / "events.log"
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        monkeypatch.setenv("REPRO_LOG_FILE", str(path))
+        log = eventlog_from_env()
+        assert log.enabled and log.mode == "text"
+        log.info("serve.start", port=1)
+        log.close()
+        text = path.read_text()
+        assert text.count("\n") == 1  # one event, one atomic line
+        assert "serve.start" in text and "port=1" in text
+
+    def test_log_file_appends_across_opens(self, tmp_path, monkeypatch):
+        path = tmp_path / "events.log"
+        monkeypatch.setenv("REPRO_LOG", "json")
+        monkeypatch.setenv("REPRO_LOG_FILE", str(path))
+        for n in (1, 2):
+            log = eventlog_from_env()
+            log.info("run.start", n=n)
+            log.close()
+        records = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert [r["n"] for r in records] == [1, 2]
+        assert all(r["event"] == "run.start" for r in records)
+
+    def test_explicit_off_beats_log_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "events.log"
+        monkeypatch.setenv("REPRO_LOG", "off")
+        monkeypatch.setenv("REPRO_LOG_FILE", str(path))
+        log = eventlog_from_env()
+        assert not log.enabled
+        log.info("quiet")
+        log.close()
+        assert path.read_text() == ""
+
+    def test_get_event_log_rebuilds_and_closes_on_env_change(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs.events import get_event_log
+
+        path = tmp_path / "events.log"
+        monkeypatch.setenv("REPRO_LOG_FILE", str(path))
+        first = get_event_log()
+        first.info("point.finish", label="a")
+        monkeypatch.delenv("REPRO_LOG_FILE")
+        second = get_event_log()
+        assert second is not first
+        assert first.stream.closed  # rebuilt log closed the owned stream
+        assert "point.finish" in path.read_text()

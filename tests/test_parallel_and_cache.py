@@ -162,8 +162,85 @@ class TestPointCache:
 
     def test_corrupt_entry_is_a_miss(self, cache_dir):
         run_cached_spec(tiny_spec())
-        entries = list(cache_dir.glob("*.pkl"))
+        entries = list(cache_dir.rglob("*.pkl"))
         assert len(entries) == 1
         entries[0].write_bytes(b"not a pickle")
         again = run_cached_spec(tiny_spec())
         assert not again.from_cache
+
+
+class TestPointCacheGC:
+    @staticmethod
+    def _put(fp: str, size: int, mtime: float):
+        import os
+
+        pointcache.store(fp, b"x" * size)
+        path = pointcache._entry_path(fp)
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_cache_max_bytes_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert pointcache.cache_max_bytes() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "2")
+        assert pointcache.cache_max_bytes() == 2 * 1024 * 1024
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "abc")
+        with pytest.raises(ConfigError):
+            pointcache.cache_max_bytes()
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0")
+        with pytest.raises(ConfigError):
+            pointcache.cache_max_bytes()
+
+    def test_store_prunes_oldest_first(self, cache_dir, monkeypatch):
+        a = self._put("a" * 8, 2000, 100)
+        b = self._put("b" * 8, 2000, 200)
+        # Bound fits two entries but not three (5000 B; each ~2 KB).
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", str(5000 / (1024 * 1024)))
+        c = self._put("c" * 8, 2000, 300)
+        assert not a.exists()  # oldest mtime evicted
+        assert b.exists() and c.exists()
+
+    def test_load_refreshes_mtime_lru(self, cache_dir, monkeypatch):
+        a = self._put("a" * 8, 2000, 100)
+        b = self._put("b" * 8, 2000, 200)
+        assert pointcache.load("a" * 8) is not None  # touch: now newest
+        assert a.stat().st_mtime > 200
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", str(5000 / (1024 * 1024)))
+        c = self._put("c" * 8, 2000, 300)
+        assert not b.exists()  # b became the LRU entry, not a
+        assert a.exists() and c.exists()
+
+    def test_stats_and_gc_remove_orphans(self, cache_dir):
+        self._put("a" * 8, 100, 100)
+        orphan = pointcache.cache_dir() / ("0" * pointcache.GENERATION_CHARS)
+        orphan.mkdir(parents=True)
+        (orphan / "old.pkl").write_bytes(b"x")
+        (pointcache.cache_dir() / "stray.pkl").write_bytes(b"x")
+        (pointcache.cache_dir() / "writer.tmp").write_bytes(b"x")
+
+        stats = pointcache.stats()
+        current = pointcache.code_salt()[: pointcache.GENERATION_CHARS]
+        assert stats["total_entries"] == 3  # a + old.pkl + stray.pkl
+        assert stats["generations"][current]["current"] is True
+        assert stats["generations"][orphan.name]["current"] is False
+
+        report = pointcache.gc()
+        assert report["removed_generations"] == [orphan.name]
+        assert report["removed_stray_files"] == 2  # stray.pkl + writer.tmp
+        assert report["pruned_entries"] == 0
+        assert not orphan.exists()
+        assert pointcache.load("a" * 8) is not None  # current entry survives
+
+    def test_cli_stats_and_gc(self, cache_dir, capsys):
+        import json
+
+        self._put("a" * 8, 100, 100)
+        assert pointcache._main(["--stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["total_entries"] == 1
+        assert stats["cache_dir"] == str(cache_dir)
+        # A ~1-byte bound prunes everything.
+        assert pointcache._main(["--gc", "--max-mb", "0.000001"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["pruned_entries"] == 1
+        assert list(cache_dir.rglob("*.pkl")) == []
