@@ -1,0 +1,253 @@
+"""Deterministic fault injection for exercising recovery paths.
+
+The fault-tolerance layer (retries, pool rebuilds, point timeouts,
+crash-safe manifests — DESIGN.md §9) is only trustworthy if every
+recovery path can be triggered on demand, in tests and in CI.
+``REPRO_FAULT_SPEC`` injects faults at well-defined hook points:
+
+* ``worker_crash`` — hard-kill the worker process (``os._exit``) at the
+  start of a matching point, so the parent observes a
+  ``BrokenProcessPool``. In an in-process executor (serial runs, the
+  daemon's ``REPRO_WORKERS=1`` thread mode) the crash degrades to a
+  raised :class:`FaultInjected` instead of killing the host process.
+* ``point_error`` — raise :class:`FaultInjected` at the start of a
+  matching point (an "ordinary" worker exception).
+* ``slow_point`` — sleep for the given duration at the start of a
+  matching point (a straggler, for exercising ``REPRO_POINT_TIMEOUT_S``).
+* ``cache_corrupt`` — truncate the persistent point-cache entry for a
+  matching fingerprint immediately before it is read, so ``load`` must
+  treat it as a miss.
+
+Grammar (comma-separated directives)::
+
+    REPRO_FAULT_SPEC="worker_crash@point=3,cache_corrupt@fp=ab12,slow_point@label=hot:0.5s"
+
+    directive  := kind "@" selector "=" value [":" duration]
+    kind       := worker_crash | point_error | slow_point | cache_corrupt
+    selector   := point (Nth simulation start, 0-based)
+                | label (exact point label)        [point faults]
+                | fp (fingerprint prefix; may be empty = match any)
+                                                   [cache_corrupt only]
+    duration   := seconds, optionally suffixed "s" [slow_point only]
+
+Every directive fires **once** per fault domain and is then spent —
+that is what makes recovery deterministic: the retried attempt does not
+re-hit the fault. The domain is cross-process when ``REPRO_FAULT_STATE``
+names a directory (claims and the ``point=N`` sequence counter are
+atomic ``O_CREAT|O_EXCL`` files in it, shared by every pool worker);
+without it, claims are process-local, which is only meaningful for
+serial / in-process runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+
+KINDS = ("worker_crash", "point_error", "slow_point", "cache_corrupt")
+
+#: exit code of an injected worker crash (shows up in pool diagnostics).
+CRASH_EXIT_CODE = 13
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired (the recoverable, in-process flavour)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One parsed ``REPRO_FAULT_SPEC`` directive."""
+
+    index: int  # position in the spec; the once-only claim token
+    kind: str
+    selector: str  # "point" | "label" | "fp"
+    value: str
+    seconds: float = 0.0  # slow_point only
+
+
+def parse_spec(text: str) -> List[Fault]:
+    """Parse a ``REPRO_FAULT_SPEC`` string; raises ConfigError when malformed."""
+    faults: List[Fault] = []
+    for index, raw in enumerate(part.strip() for part in text.split(",")):
+        if not raw:
+            continue
+        kind, sep, rest = raw.partition("@")
+        if kind not in KINDS:
+            raise ConfigError(
+                f"REPRO_FAULT_SPEC: unknown fault kind {kind!r} in {raw!r}; "
+                f"known: {', '.join(KINDS)}"
+            )
+        if not sep:
+            raise ConfigError(
+                f"REPRO_FAULT_SPEC: {raw!r} needs a selector, e.g. "
+                f"{kind}@label=<label>"
+            )
+        selector, eq, value = rest.partition("=")
+        if not eq:
+            raise ConfigError(
+                f"REPRO_FAULT_SPEC: selector in {raw!r} needs '=<value>'"
+            )
+        seconds = 0.0
+        if kind == "slow_point":
+            value, colon, duration = value.rpartition(":")
+            if not colon:
+                raise ConfigError(
+                    f"REPRO_FAULT_SPEC: slow_point needs a duration, e.g. "
+                    f"slow_point@label=hot:0.5s (got {raw!r})"
+                )
+            seconds = _parse_duration(duration, raw)
+        allowed = ("fp",) if kind == "cache_corrupt" else ("point", "label")
+        if selector not in allowed:
+            raise ConfigError(
+                f"REPRO_FAULT_SPEC: {kind} selector must be "
+                f"{' or '.join(allowed)}, got {selector!r}"
+            )
+        if selector == "point":
+            try:
+                if int(value) < 0:
+                    raise ValueError
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_FAULT_SPEC: point selector must be an integer "
+                    f">= 0, got {value!r}"
+                )
+        elif selector == "label" and not value:
+            raise ConfigError(
+                f"REPRO_FAULT_SPEC: empty label selector in {raw!r}"
+            )
+        faults.append(Fault(index, kind, selector, value, seconds))
+    return faults
+
+
+def _parse_duration(text: str, raw: str) -> float:
+    try:
+        seconds = float(text[:-1] if text.endswith("s") else text)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_FAULT_SPEC: bad duration {text!r} in {raw!r}"
+        )
+    if seconds < 0:
+        raise ConfigError(f"REPRO_FAULT_SPEC: negative duration in {raw!r}")
+    return seconds
+
+
+_parsed: Optional[Tuple[str, List[Fault]]] = None
+_local_claims: Set[str] = set()
+_local_seq = 0
+
+
+def active_faults() -> List[Fault]:
+    """Parsed directives from the current ``REPRO_FAULT_SPEC`` (cached)."""
+    global _parsed
+    raw = os.environ.get("REPRO_FAULT_SPEC", "").strip()
+    if not raw:
+        return []
+    if _parsed is None or _parsed[0] != raw:
+        _parsed = (raw, parse_spec(raw))
+    return _parsed[1]
+
+
+def reset() -> None:
+    """Forget process-local claims and sequence state (tests)."""
+    global _parsed, _local_seq
+    _parsed = None
+    _local_seq = 0
+    _local_claims.clear()
+
+
+def _state_dir() -> Optional[Path]:
+    env = os.environ.get("REPRO_FAULT_STATE", "").strip()
+    return Path(env) if env else None
+
+
+def _claim_file(path: Path) -> bool:
+    """Atomically create ``path``; True exactly once across processes."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _claim(token: str) -> bool:
+    directory = _state_dir()
+    if directory is None:
+        if token in _local_claims:
+            return False
+        _local_claims.add(token)
+        return True
+    return _claim_file(directory / f"claim-{token}")
+
+
+def _next_seq() -> int:
+    """Claim the next global simulation-start sequence number."""
+    global _local_seq
+    directory = _state_dir()
+    if directory is None:
+        seq = _local_seq
+        _local_seq += 1
+        return seq
+    i = 0
+    while not _claim_file(directory / f"seq-{i}"):
+        i += 1
+    return i
+
+
+def on_point_start(label: str) -> None:
+    """Hook called at the start of every fresh point simulation."""
+    faults = [f for f in active_faults() if f.kind != "cache_corrupt"]
+    if not faults:
+        return
+    seq: Optional[int] = None
+    if any(f.selector == "point" for f in faults):
+        seq = _next_seq()
+    for fault in faults:
+        if fault.selector == "point" and seq != int(fault.value):
+            continue
+        if fault.selector == "label" and label != fault.value:
+            continue
+        if not _claim(str(fault.index)):
+            continue
+        _apply(fault, label)
+
+
+def _apply(fault: Fault, label: str) -> None:
+    if fault.kind == "slow_point":
+        time.sleep(fault.seconds)
+        return
+    if fault.kind == "point_error":
+        raise FaultInjected(f"point_error injected at point {label!r}")
+    if fault.kind == "worker_crash":
+        if multiprocessing.parent_process() is not None:
+            # A real pool worker: die hard so the parent sees a
+            # BrokenProcessPool, exactly like an OOM kill.
+            os._exit(CRASH_EXIT_CODE)
+        # In-process execution: exiting would kill the test/daemon
+        # process itself; degrade to a raised (retryable) error.
+        raise FaultInjected(
+            f"worker_crash injected at point {label!r} "
+            "(in-process executor: raised instead of exiting)"
+        )
+
+
+def on_cache_load(fp: str, path: Path) -> None:
+    """Hook called before a point-cache entry at ``path`` is read."""
+    for fault in active_faults():
+        if fault.kind != "cache_corrupt" or not fp.startswith(fault.value):
+            continue
+        if not _claim(str(fault.index)):
+            continue
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        except OSError:
+            pass  # no entry to corrupt is itself a miss

@@ -19,13 +19,28 @@ the fan-out:
 Results are memoized through :mod:`repro.engine.pointcache` unless
 ``REPRO_NO_CACHE=1``.
 
+Fault tolerance (DESIGN.md §9): a failing point is retried up to
+``REPRO_RETRIES`` times with exponential backoff starting at
+``REPRO_RETRY_BACKOFF_S``; a collapsed ``ProcessPoolExecutor`` (an
+OOM-killed or crashed worker takes the whole pool down) is rebuilt and
+the in-flight points retried; ``REPRO_POINT_TIMEOUT_S`` abandons
+straggler attempts and reschedules them. Because a point's result is a
+pure function of its spec, a retried point is bit-identical to an
+undisturbed run. Points that exhaust their retries raise
+:class:`PointFailure` — after the run manifest has been finalized with
+``status: failed`` and per-point error records, so no exit path leaves
+an orphaned, manifest-less run directory. ``REPRO_FAULT_SPEC``
+(:mod:`repro.engine.faults`) injects worker crashes, point errors,
+stragglers, and cache corruption deterministically to test all of this.
+
 Observability (:mod:`repro.obs`, DESIGN.md §6): every ``run_points``
 call writes a run manifest under ``results/runs/<run_id>/`` (disable
 with ``REPRO_NO_MANIFEST=1``) recording full per-point config, seeds,
 the code hash, host info, wall/sim time, and cache-hit provenance.
 ``REPRO_EPOCH=N`` makes each freshly simulated point emit an epoch
 timeline JSONL next to the manifest. ``REPRO_LOG=text|json`` streams
-per-point start/finish/cached events with a live ETA. ``REPRO_PROFILE=1``
+per-point start/finish/cached events with a live ETA (plus
+``point.retry`` / ``point.failed`` recovery events). ``REPRO_PROFILE=1``
 emits a cProfile top-20 per simulated point through the event log, the
 point label prefixed atomically (no interleaving under parallel runs).
 """
@@ -34,13 +49,30 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    as_completed,
+)
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
-from repro.engine import pointcache
+from repro.engine import faults, pointcache
 from repro.errors import ConfigError
 from repro.obs import events as obs_events
 from repro.obs import manifest as obs_manifest
@@ -51,14 +83,88 @@ from repro.workloads.base import Workload
 
 T = TypeVar("T")
 
+#: default attempts-after-the-first for a failing point.
+DEFAULT_RETRIES = 2
+#: default first-retry backoff; doubles per subsequent retry.
+DEFAULT_RETRY_BACKOFF_S = 0.1
+
 #: run directory of the most recent completed run_points call in this
 #: process (None until one completes, or when manifests are disabled).
 _LAST_RUN_DIR: Optional[Path] = None
 
 
+class PointFailure(RuntimeError):
+    """A grid point failed after exhausting its retries.
+
+    ``errors`` maps spec-list index -> error string for every failed
+    point; the run manifest (status ``failed``) records the same.
+    """
+
+    def __init__(self, message: str, errors: Dict[int, str]) -> None:
+        super().__init__(message)
+        self.errors = errors
+
+
 def last_run_dir() -> Optional[Path]:
     """Run directory written by the most recent :func:`run_points`."""
     return _LAST_RUN_DIR
+
+
+def retry_limit() -> int:
+    """Retries per failing point from ``REPRO_RETRIES`` (default 2)."""
+    env = os.environ.get("REPRO_RETRIES", "").strip()
+    if not env:
+        return DEFAULT_RETRIES
+    try:
+        retries = int(env)
+    except ValueError:
+        raise ConfigError(f"REPRO_RETRIES must be an integer, got {env!r}")
+    if retries < 0:
+        raise ConfigError("REPRO_RETRIES must be >= 0")
+    return retries
+
+
+def retry_backoff_s() -> float:
+    """First-retry backoff seconds from ``REPRO_RETRY_BACKOFF_S``."""
+    env = os.environ.get("REPRO_RETRY_BACKOFF_S", "").strip()
+    if not env:
+        return DEFAULT_RETRY_BACKOFF_S
+    try:
+        backoff = float(env)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_RETRY_BACKOFF_S must be a number, got {env!r}"
+        )
+    if backoff < 0:
+        raise ConfigError("REPRO_RETRY_BACKOFF_S must be >= 0")
+    return backoff
+
+
+def point_timeout_s() -> Optional[float]:
+    """Straggler timeout from ``REPRO_POINT_TIMEOUT_S`` (None = off).
+
+    A parallel attempt exceeding the timeout is abandoned (the worker
+    finishes in the background; its result is discarded) and the point
+    rescheduled, charging one attempt. The serial path cannot interrupt
+    an in-process simulation, so the timeout only applies to workers.
+    """
+    env = os.environ.get("REPRO_POINT_TIMEOUT_S", "").strip()
+    if not env:
+        return None
+    try:
+        timeout = float(env)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_POINT_TIMEOUT_S must be a number, got {env!r}"
+        )
+    if timeout <= 0:
+        raise ConfigError("REPRO_POINT_TIMEOUT_S must be > 0")
+    return timeout
+
+
+def backoff_delay(backoff: float, attempt: int) -> float:
+    """Exponential backoff before retry number ``attempt`` (1-based)."""
+    return backoff * (2 ** max(0, attempt - 1))
 
 
 @dataclass(frozen=True)
@@ -139,6 +245,7 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
     obs = ObsContext.from_env()
     profiling = os.environ.get("REPRO_PROFILE", "") == "1"
     log.debug("point.simulate", label=spec.label, pid=os.getpid())
+    faults.on_point_start(spec.label)
     start = time.perf_counter()
     if profiling:
         import cProfile
@@ -183,7 +290,7 @@ def run_cached_spec(spec: PointSpec, run_dir: Optional[str] = None):
     if not pointcache.cache_enabled():
         return run_spec(spec, run_dir=run_dir)
     fp = pointcache.fingerprint(spec)
-    cached = pointcache.load(fp)
+    cached = pointcache.load(fp, require_attrs=pointcache.RESULT_ATTRS)
     if cached is not None:
         cached.label = spec.label
         cached.from_cache = True
@@ -231,20 +338,54 @@ def finish_manifest(
     spec_list: Sequence[PointSpec],
     results: Sequence,
     wall_seconds: float,
+    status: str = "done",
+    errors: Optional[Dict[int, str]] = None,
+    attempts: Optional[Sequence[int]] = None,
 ) -> None:
-    """Fill in per-point records and write ``manifest.json`` atomically."""
+    """Fill in per-point records and write ``manifest.json`` atomically.
+
+    Called on **every** exit path (success, failure, cancellation, pool
+    collapse, daemon drain): ``results`` may contain ``None`` holes for
+    points that never completed; ``errors`` maps spec index -> error
+    string for points that failed; ``attempts`` records how many times
+    each point was tried. ``status`` is the run-level outcome
+    (``done | partial | failed | cancelled``).
+    """
     global _LAST_RUN_DIR
+    errors = errors or {}
+    padded = list(results) + [None] * (len(spec_list) - len(results))
+    manifest.status = status
     manifest.wall_seconds = wall_seconds
-    manifest.sim_seconds_total = sum(r.sim_seconds for r in results)
+    manifest.sim_seconds_total = sum(
+        r.sim_seconds for r in padded if r is not None
+    )
     manifest.points = [
-        _point_record(spec, result, pointcache.fingerprint(spec))
-        for spec, result in zip(spec_list, results)
+        _point_record(
+            spec,
+            result,
+            pointcache.fingerprint(spec),
+            error=errors.get(i),
+            attempts=attempts[i] if attempts is not None else 1,
+        )
+        for i, (spec, result) in enumerate(zip(spec_list, padded))
     ]
     manifest.write(run_dir / "manifest.json")
     _LAST_RUN_DIR = run_dir
 
 
-def _point_record(spec: PointSpec, result, fingerprint: str) -> PointRecord:
+def _point_record(
+    spec: PointSpec,
+    result,
+    fingerprint: str,
+    error: Optional[str] = None,
+    attempts: int = 1,
+) -> PointRecord:
+    if result is not None:
+        status = "done"
+    elif error is not None:
+        status = "failed"
+    else:
+        status = "skipped"
     return PointRecord(
         label=spec.label,
         fingerprint=fingerprint,
@@ -257,9 +398,14 @@ def _point_record(spec: PointSpec, result, fingerprint: str) -> PointRecord:
         seed=spec.seed,
         warmup_requests=spec.warmup_requests,
         measure_requests=spec.measure_requests,
-        from_cache=result.from_cache,
-        sim_seconds=result.sim_seconds,
-        timeline_file=getattr(result, "timeline_file", None),
+        from_cache=result.from_cache if result is not None else False,
+        sim_seconds=result.sim_seconds if result is not None else 0.0,
+        timeline_file=(
+            getattr(result, "timeline_file", None) if result is not None else None
+        ),
+        status=status,
+        error=error,
+        attempts=max(1, attempts),
     )
 
 
@@ -282,6 +428,204 @@ def _emit_point_progress(
     )
 
 
+def _run_serial(
+    spec_list: Sequence[PointSpec],
+    runner: Callable,
+    log,
+    run_label: Optional[str],
+    t0: float,
+    retries: int,
+    backoff: float,
+    results: List,
+    attempts: List[int],
+    errors: Dict[int, str],
+) -> None:
+    """In-process execution with per-point retries (fills the outputs)."""
+    total = len(spec_list)
+    done = 0
+    for i, spec in enumerate(spec_list):
+        attempt = 0
+        while True:
+            attempt += 1
+            attempts[i] = attempt
+            try:
+                result = runner(spec)
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt > retries:
+                    errors[i] = error
+                    log.error(
+                        "point.failed",
+                        run=run_label or "-",
+                        label=spec.label,
+                        attempts=attempt,
+                        error=error,
+                    )
+                    break
+                delay = backoff_delay(backoff, attempt)
+                log.warning(
+                    "point.retry",
+                    run=run_label or "-",
+                    label=spec.label,
+                    attempt=attempt,
+                    backoff_s=delay,
+                    error=error,
+                )
+                if delay:
+                    time.sleep(delay)
+                continue
+            results[i] = result
+            done += 1
+            _emit_point_progress(log, run_label, done, total, result, t0)
+            break
+
+
+def _run_parallel(
+    spec_list: Sequence[PointSpec],
+    runner: Callable,
+    workers: int,
+    log,
+    run_label: Optional[str],
+    t0: float,
+    retries: int,
+    backoff: float,
+    timeout: Optional[float],
+    results: List,
+    attempts: List[int],
+    errors: Dict[int, str],
+) -> None:
+    """Process-pool execution with crash recovery (fills the outputs).
+
+    Recovery semantics:
+
+    * an attempt raising an ordinary exception is retried with
+      exponential backoff until its ``retries`` budget runs out;
+    * a ``BrokenProcessPool`` (worker death kills the whole pool)
+      rebuilds the pool once per collapse; every in-flight point is
+      charged one attempt and rescheduled;
+    * a cancelled attempt (collateral of ``cancel_futures`` during a
+      rebuild) is rescheduled without charge — it never ran;
+    * with ``timeout`` set, an attempt running longer is abandoned (the
+      worker finishes in the background, its result discarded) and the
+      point rescheduled, charging one attempt.
+    """
+    total = len(spec_list)
+    pool = ProcessPoolExecutor(max_workers=workers)
+    pending: Dict[Future, int] = {}
+    started: Dict[Future, float] = {}
+    owner: Dict[Future, ProcessPoolExecutor] = {}
+    ready: List[Tuple[float, int]] = [(0.0, i) for i in range(total)]
+    done_count = 0
+
+    def rebuild_if_current(broken: ProcessPoolExecutor) -> None:
+        nonlocal pool
+        if pool is not broken:
+            return  # a previous collapse already rebuilt it
+        log.warning(
+            "pool.rebuild", run=run_label or "-", workers=workers
+        )
+        pool = ProcessPoolExecutor(max_workers=workers)
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    def submit(i: int) -> None:
+        nonlocal pool
+        try:
+            fut = pool.submit(runner, spec_list[i])
+        except BrokenProcessPool:
+            rebuild_if_current(pool)
+            fut = pool.submit(runner, spec_list[i])
+        attempts[i] += 1
+        pending[fut] = i
+        started[fut] = time.monotonic()
+        owner[fut] = pool
+
+    def reschedule(i: int, error: str, charge: bool) -> None:
+        nonlocal done_count
+        if not charge:
+            attempts[i] -= 1  # the attempt never ran
+            ready.append((time.monotonic(), i))
+            return
+        if attempts[i] > retries:
+            errors[i] = error
+            done_count += 1
+            log.error(
+                "point.failed",
+                run=run_label or "-",
+                label=spec_list[i].label,
+                attempts=attempts[i],
+                error=error,
+            )
+            return
+        delay = backoff_delay(backoff, attempts[i])
+        log.warning(
+            "point.retry",
+            run=run_label or "-",
+            label=spec_list[i].label,
+            attempt=attempts[i],
+            backoff_s=delay,
+            error=error,
+        )
+        ready.append((time.monotonic() + delay, i))
+
+    try:
+        while done_count < total:
+            now = time.monotonic()
+            for entry in sorted(ready):
+                not_before, i = entry
+                if not_before <= now:
+                    ready.remove(entry)
+                    submit(i)
+            if not pending:
+                if ready:
+                    next_due = min(nb for nb, _ in ready)
+                    time.sleep(min(0.05, max(0.0, next_due - now)))
+                    continue
+                break  # every point resolved to a result or an error
+            done, _ = futures_wait(
+                list(pending), timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            for fut in done:
+                i = pending.pop(fut)
+                started.pop(fut, None)
+                fut_pool = owner.pop(fut, None)
+                try:
+                    result = fut.result()
+                except CancelledError:
+                    reschedule(i, "cancelled", charge=False)
+                except BrokenProcessPool as exc:
+                    if fut_pool is not None:
+                        rebuild_if_current(fut_pool)
+                    reschedule(i, f"{type(exc).__name__}: {exc}", charge=True)
+                except Exception as exc:
+                    reschedule(i, f"{type(exc).__name__}: {exc}", charge=True)
+                else:
+                    results[i] = result
+                    done_count += 1
+                    _emit_point_progress(
+                        log, run_label, done_count, total, result, t0
+                    )
+            if timeout is not None:
+                now = time.monotonic()
+                stragglers = [
+                    fut
+                    for fut, begun in started.items()
+                    if now - begun > timeout and fut in pending
+                ]
+                for fut in stragglers:
+                    i = pending.pop(fut)
+                    started.pop(fut, None)
+                    owner.pop(fut, None)
+                    cancelled = fut.cancel()
+                    reschedule(
+                        i,
+                        f"TimeoutError: attempt exceeded {timeout}s"
+                        + ("" if cancelled else " (worker abandoned)"),
+                        charge=not cancelled,
+                    )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_points(
     specs: Iterable[PointSpec],
     max_workers: Optional[int] = None,
@@ -292,7 +636,11 @@ def run_points(
     ``max_workers`` (default: :func:`default_workers`) of 1 runs
     serially in-process, which is the deterministic reference path —
     parallel runs produce bit-identical results because each point's
-    RNGs are seeded from its spec alone.
+    RNGs are seeded from its spec alone. Failing points are retried
+    (``REPRO_RETRIES`` / ``REPRO_RETRY_BACKOFF_S`` /
+    ``REPRO_POINT_TIMEOUT_S``); a point that exhausts its budget raises
+    :class:`PointFailure` after the manifest is finalized with
+    ``status: failed``.
 
     ``run_label`` names the run in its manifest, event-log lines, and
     run-directory id (figure modules pass their figure id).
@@ -316,38 +664,63 @@ def run_points(
         run_cached_spec, run_dir=str(run_dir) if run_dir else None
     )
     total = len(spec_list)
-    if workers <= 1:
-        results: List = []
-        for i, spec in enumerate(spec_list):
-            result = runner(spec)
-            results.append(result)
-            _emit_point_progress(log, run_label, i + 1, total, result, t0)
-    else:
-        results = [None] * total
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(runner, spec): i
-                for i, spec in enumerate(spec_list)
-            }
-            done = 0
-            for future in as_completed(futures):
-                index = futures[future]
-                results[index] = future.result()
-                done += 1
-                _emit_point_progress(
-                    log, run_label, done, total, results[index], t0
-                )
+    retries = retry_limit()
+    backoff = retry_backoff_s()
+    timeout = point_timeout_s()
+    results: List = [None] * total
+    attempts: List[int] = [0] * total
+    errors: Dict[int, str] = {}
+
+    def finalize(status: str) -> None:
+        if manifest is not None and run_dir is not None:
+            finish_manifest(
+                manifest,
+                run_dir,
+                spec_list,
+                results,
+                time.perf_counter() - t0,
+                status=status,
+                errors=errors,
+                attempts=attempts,
+            )
+
+    try:
+        if workers <= 1:
+            _run_serial(
+                spec_list, runner, log, run_label, t0,
+                retries, backoff, results, attempts, errors,
+            )
+        else:
+            _run_parallel(
+                spec_list, runner, workers, log, run_label, t0,
+                retries, backoff, timeout, results, attempts, errors,
+            )
+    except BaseException:
+        # Unexpected abort (KeyboardInterrupt, pool setup failure, ...):
+        # still leave a finalized manifest behind, never an orphan dir.
+        finalize("failed")
+        raise
+    status = "failed" if errors else "done"
+    finalize(status)
     wall = time.perf_counter() - t0
-    if manifest is not None and run_dir is not None:
-        finish_manifest(manifest, run_dir, spec_list, results, wall)
     log.info(
         "run.finish",
         run=run_label or "-",
         points=total,
-        cached=sum(1 for r in results if r.from_cache),
+        cached=sum(1 for r in results if r is not None and r.from_cache),
+        retried=sum(1 for a in attempts if a > 1),
+        status=status,
         wall_s=wall,
         run_id=manifest.run_id if manifest else None,
     )
+    if errors:
+        first = min(errors)
+        raise PointFailure(
+            f"{len(errors)} of {total} points failed after "
+            f"{retries} retries; first: point "
+            f"{spec_list[first].label!r}: {errors[first]}",
+            errors,
+        )
     return results
 
 
@@ -360,9 +733,9 @@ def run_tasks(
     """Fan out ``fn(*args)`` over a task list, preserving order.
 
     ``fn`` must be a module-level (picklable) function and every args
-    tuple picklable. Not point-cached and not manifested — use
-    :func:`run_points` for standard grid points. Progress events still
-    flow through the event log.
+    tuple picklable. Not point-cached, not manifested, and not retried —
+    use :func:`run_points` for standard grid points. Progress events
+    still flow through the event log.
     """
     tasks = list(args_list)
     if not tasks:
@@ -385,11 +758,13 @@ def run_tasks(
             )
         return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(fn, *args) for args in tasks]
+        futures = {
+            pool.submit(fn, *args): i for i, args in enumerate(tasks)
+        }
         ordered: List[T] = [None] * len(tasks)  # type: ignore[list-item]
         done = 0
         for future in as_completed(futures):
-            index = futures.index(future)
+            index = futures[future]
             ordered[index] = future.result()
             done += 1
             log.info(

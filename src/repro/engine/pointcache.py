@@ -42,9 +42,29 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.engine import faults
 from repro.errors import ConfigError
 
 DEFAULT_CACHE_DIR = Path("results") / ".pointcache"
+
+#: everything unpickling a damaged/foreign entry is known to raise:
+#: OSError (unreadable), EOFError/UnpicklingError (truncated stream),
+#: Attribute/Import (class moved or gone), Index/Key/Value/Type (corrupt
+#: bytecode stream internals), UnicodeDecodeError (mangled strings),
+#: MemoryError (bogus length prefix). Anything in this set is a miss.
+_LOAD_ERRORS = (
+    OSError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    ValueError,
+    TypeError,
+    MemoryError,
+    pickle.UnpicklingError,
+    UnicodeDecodeError,
+)
 
 #: directory-name length for one code generation (a code_salt prefix).
 GENERATION_CHARS = 16
@@ -108,19 +128,31 @@ def _entry_path(fp: str) -> Path:
     return generation_dir() / f"{fp}.pkl"
 
 
-def load(fp: str) -> Optional[Any]:
+#: the attributes a cached point result must expose; callers on the
+#: simulation path pass this to ``load`` so a wrong-class pickle (a
+#: foreign or stale writer) degrades to a miss instead of exploding
+#: later when the label is re-stamped.
+RESULT_ATTRS = ("label", "from_cache", "sim_seconds")
+
+
+def load(fp: str, require_attrs: Optional[Tuple[str, ...]] = None) -> Optional[Any]:
     """Cached value for fingerprint ``fp``, or None.
 
     A corrupt or unreadable entry behaves like a miss — the caller will
-    re-simulate and overwrite it. Hits refresh the entry's mtime so the
-    size-bound pruning is LRU rather than FIFO.
+    re-simulate and overwrite it. ``require_attrs`` duck-types the
+    unpickled value: anything missing one of the attributes is also a
+    miss. Hits refresh the entry's mtime so the size-bound pruning is
+    LRU rather than FIFO.
     """
     path = _entry_path(fp)
+    faults.on_cache_load(fp, path)
     try:
         with path.open("rb") as f:
             value = pickle.load(f)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+    except _LOAD_ERRORS:
         return None
+    if require_attrs and not all(hasattr(value, a) for a in require_attrs):
+        return None  # wrong-class pickle: treat as a miss
     try:
         os.utime(path)
     except OSError:

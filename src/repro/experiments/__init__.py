@@ -56,11 +56,28 @@ SPEC_BUILDERS = {
     "headline": headline.specs,
 }
 
+#: experiment id -> why `repro.serve` refuses it by design (HTTP 400
+#: naming the reason, instead of the generic unknown-experiment error).
+#: Everything in REGISTRY is either here or in SPEC_BUILDERS.
+UNSERVABLE = {
+    "fig9": (
+        "the collocation study simulates two tenants inside one shared "
+        "CollocationSimulator per point (run_tasks over closures), not "
+        "independent PointSpecs, so its points cannot be fanned out, "
+        "cached, or deduped by the point scheduler"
+    ),
+    "table1": (
+        "analytic-only (closed-form model, no trace simulation to "
+        "schedule)"
+    ),
+}
+
 __all__ = [
     "ExperimentSettings",
     "FigureResult",
     "PointResult",
     "REGISTRY",
     "SPEC_BUILDERS",
+    "UNSERVABLE",
     "run_point",
 ]

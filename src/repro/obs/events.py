@@ -1,10 +1,13 @@
 """Structured event log with levels, text/JSON rendering, atomic lines.
 
 The experiment engine emits per-point lifecycle events (start, finish,
-cached, progress/ETA) and diagnostic blocks (cProfile output) through
-one logger so that parallel workers cannot interleave partial lines:
-every event is rendered to a single string — newline included — and
-written with one ``write()`` call.
+cached, progress/ETA), fault-tolerance events (``point.retry`` /
+``point.failed`` on recovery, ``pool.rebuild`` /
+``serve.pool.rebuild`` after an executor collapse, ``serve.draining``
+on SIGTERM), and diagnostic blocks (cProfile output) through one logger
+so that parallel workers cannot interleave partial lines: every event
+is rendered to a single string — newline included — and written with
+one ``write()`` call.
 
 Environment contract (documented in README):
 

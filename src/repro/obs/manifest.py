@@ -31,8 +31,18 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigError
 
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 2
+#: schema versions :meth:`RunManifest.from_dict` still accepts (v1
+#: manifests predate fault tolerance and default to ``status: done``).
+COMPATIBLE_SCHEMAS = (1, 2)
 DEFAULT_RUNS_DIR = Path("results") / "runs"
+
+#: run-level outcomes (schema v2). ``partial`` means the run stopped at
+#: a point boundary with work remaining (daemon drain).
+MANIFEST_STATUSES = ("done", "partial", "failed", "cancelled")
+#: per-point outcomes: ``skipped`` points never got a completed attempt
+#: before the run ended.
+POINT_STATUSES = ("done", "failed", "skipped")
 
 #: REPRO_* knobs recorded in every manifest for reproducibility.
 _ENV_KEYS = (
@@ -48,6 +58,11 @@ _ENV_KEYS = (
     "REPRO_LOG_FILE",
     "REPRO_PROFILE",
     "REPRO_RUNS_DIR",
+    "REPRO_RETRIES",
+    "REPRO_RETRY_BACKOFF_S",
+    "REPRO_POINT_TIMEOUT_S",
+    "REPRO_FAULT_SPEC",
+    "REPRO_FAULT_STATE",
 )
 
 
@@ -99,6 +114,9 @@ class PointRecord:
     from_cache: bool = False
     sim_seconds: float = 0.0
     timeline_file: Optional[str] = None
+    status: str = "done"  # done | failed | skipped
+    error: Optional[str] = None  # last error when status == "failed"
+    attempts: int = 1  # how many times the point was tried
 
 
 @dataclass
@@ -115,6 +133,7 @@ class RunManifest:
     env: Dict[str, str] = field(default_factory=dict)
     wall_seconds: float = 0.0
     sim_seconds_total: float = 0.0
+    status: str = "done"  # done | partial | failed | cancelled
     points: List[PointRecord] = field(default_factory=list)
 
     @classmethod
@@ -158,9 +177,10 @@ class RunManifest:
     def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
         if not isinstance(data, dict):
             raise ConfigError("manifest must be a JSON object")
-        if data.get("schema") != MANIFEST_SCHEMA_VERSION:
+        if data.get("schema") not in COMPATIBLE_SCHEMAS:
             raise ConfigError(
-                f"manifest schema {data.get('schema')!r} != {MANIFEST_SCHEMA_VERSION}"
+                f"manifest schema {data.get('schema')!r} not in "
+                f"{COMPATIBLE_SCHEMAS}"
             )
         raw_points = data.get("points", [])
         if not isinstance(raw_points, list):
@@ -188,6 +208,10 @@ def validate_manifest(manifest: RunManifest, where: str = "manifest") -> None:
         raise ConfigError(f"{where}: empty run_id")
     if not manifest.code_salt:
         raise ConfigError(f"{where}: missing code_salt")
+    if manifest.status not in MANIFEST_STATUSES:
+        raise ConfigError(
+            f"{where}: status {manifest.status!r} not in {MANIFEST_STATUSES}"
+        )
     labels = [p.label for p in manifest.points]
     if len(labels) != len(set(labels)):
         raise ConfigError(f"{where}: duplicate point labels")
@@ -196,3 +220,22 @@ def validate_manifest(manifest: RunManifest, where: str = "manifest") -> None:
             raise ConfigError(f"{where}: point {p.label!r} missing fingerprint")
         if p.sim_seconds < 0:
             raise ConfigError(f"{where}: point {p.label!r} negative sim time")
+        if p.status not in POINT_STATUSES:
+            raise ConfigError(
+                f"{where}: point {p.label!r} status {p.status!r} not in "
+                f"{POINT_STATUSES}"
+            )
+        if p.status == "failed" and not p.error:
+            raise ConfigError(
+                f"{where}: failed point {p.label!r} missing error record"
+            )
+        if p.attempts < 1:
+            raise ConfigError(
+                f"{where}: point {p.label!r} attempts must be >= 1"
+            )
+    if manifest.status == "done" and any(
+        p.status != "done" for p in manifest.points
+    ):
+        raise ConfigError(
+            f"{where}: status 'done' but not every point is done"
+        )

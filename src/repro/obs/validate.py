@@ -58,6 +58,21 @@ def main(argv=None) -> int:
     if not manifests:
         print(f"no manifests under {args.runs_root}", file=sys.stderr)
         return 1
+    # Orphan detection: every direct child of the runs root must hold a
+    # manifest somewhere beneath it. A run directory with timelines but
+    # no manifest.json means some exit path skipped finalization — the
+    # exact leak the fault-tolerance layer exists to prevent.
+    failed = 0
+    for child in sorted(args.runs_root.iterdir()):
+        if child.is_dir() and not any(child.glob("**/manifest.json")):
+            print(
+                f"INVALID {child}: run directory without a manifest.json "
+                "(orphaned run)",
+                file=sys.stderr,
+            )
+            failed += 1
+    if failed:
+        return 1
     total_timelines = 0
     for manifest_path in manifests:
         try:
@@ -66,7 +81,11 @@ def main(argv=None) -> int:
             print(f"INVALID {manifest_path.parent}: {exc}", file=sys.stderr)
             return 1
         total_timelines += timelines
-        print(f"ok {manifest_path.parent} ({timelines} timelines)")
+        manifest = RunManifest.load(manifest_path)
+        print(
+            f"ok {manifest_path.parent} "
+            f"(status={manifest.status}, {timelines} timelines)"
+        )
     if args.require_timeline and total_timelines == 0:
         print("no timelines found (REPRO_EPOCH unset?)", file=sys.stderr)
         return 1

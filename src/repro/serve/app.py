@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -189,13 +191,15 @@ class ServeHandler(BaseHTTPRequestHandler):
         return self._send(200, job.snapshot())
 
     def _healthz(self) -> None:
+        scheduler = self.server.scheduler
         self._send(
             200,
             {
                 "ok": True,
+                "status": "draining" if scheduler.draining else "ok",
                 "uptime_seconds": time.time() - self.server.started_unix,
-                "workers": self.server.scheduler.workers,
-                "jobs": self.server.scheduler.counts(),
+                "workers": scheduler.workers,
+                "jobs": scheduler.counts(),
             },
         )
 
@@ -242,6 +246,13 @@ def main(argv=None) -> int:
         default=DEFAULT_MAX_CONCURRENT_JOBS,
         help="jobs executing concurrently (they share the worker pool)",
     )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds SIGTERM waits for running jobs to reach a point "
+        "boundary before the server exits",
+    )
     args = parser.parse_args(argv)
     scheduler = JobScheduler(
         workers=args.workers,
@@ -252,6 +263,27 @@ def main(argv=None) -> int:
     scheduler.start()
     host, port = server.server_address[:2]
     log = obs_events.get_event_log()
+
+    def _drain_and_exit(signum, _frame) -> None:
+        # serve_forever() deadlocks if shutdown() is called from its own
+        # thread, and a signal handler runs on the main thread (which is
+        # inside serve_forever) — so the drain runs on a helper thread.
+        def drain() -> None:
+            log.emit(
+                "serve.sigterm", force=True, signal=signum, host=host, port=port
+            )
+            scheduler.drain()
+            scheduler.wait_idle(timeout=args.drain_timeout)
+            server.shutdown()
+
+        threading.Thread(target=drain, name="serve-drain", daemon=True).start()
+
+    try:
+        # Non-main-thread entry (tests embedding main()) can't install
+        # signal handlers; graceful drain is then the caller's job.
+        signal.signal(signal.SIGTERM, _drain_and_exit)
+    except ValueError:
+        pass
     log.emit(
         "serve.start",
         force=True,

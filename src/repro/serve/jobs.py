@@ -64,6 +64,26 @@ def _number(payload: Dict[str, Any], key: str, default: float) -> float:
     return float(value)
 
 
+#: every key an explicit point object may carry; anything else is a 400
+#: (a typo like "swepper" must not silently serve non-Sweeper results).
+_POINT_KEYS = frozenset(
+    (
+        "workload",
+        "scale",
+        "buffers",
+        "ways",
+        "packet_bytes",
+        "policy",
+        "label",
+        "measure",
+        "sweeper",
+        "queued_depth",
+        "nic_tx_sweep",
+        "seed",
+    )
+)
+
+
 def _build_point(entry: Dict[str, Any], default_scale: float) -> PointSpec:
     """One explicit point in the ``point_spec`` vocabulary."""
     from repro.experiments.common import (
@@ -75,6 +95,12 @@ def _build_point(entry: Dict[str, Any], default_scale: float) -> PointSpec:
     )
 
     _require(isinstance(entry, dict), "each point must be an object")
+    unknown = sorted(set(entry) - _POINT_KEYS)
+    _require(
+        not unknown,
+        "unknown point key(s): " + ", ".join(repr(k) for k in unknown)
+        + "; allowed: " + ", ".join(sorted(_POINT_KEYS)),
+    )
     workload_kind = entry.get("workload", "kvs")
     _require(
         workload_kind in ("kvs", "l3fwd"),
@@ -121,7 +147,7 @@ def parse_job_request(payload: Any) -> JobRequest:
     Raises :class:`BadRequest` (HTTP 400) on any malformed field; an
     unknown experiment name lists the servable ids in the message.
     """
-    from repro.experiments import SPEC_BUILDERS
+    from repro.experiments import SPEC_BUILDERS, UNSERVABLE
     from repro.experiments.common import DEFAULT_SCALE, ExperimentSettings
 
     _require(isinstance(payload, dict), "job body must be a JSON object")
@@ -140,6 +166,11 @@ def parse_job_request(payload: Any) -> JobRequest:
     _require(0 < scale <= 1, "'scale' must be in (0, 1]")
     if has_experiment:
         name = payload["experiment"]
+        if isinstance(name, str) and name in UNSERVABLE:
+            raise BadRequest(
+                f"experiment {name!r} is intentionally not servable: "
+                f"{UNSERVABLE[name]} (see DESIGN.md §8)"
+            )
         _require(
             isinstance(name, str) and name in SPEC_BUILDERS,
             f"unknown experiment {payload['experiment']!r}; servable: "
@@ -179,6 +210,7 @@ class Job:
         self.cached_points = 0
         self.deduped_points = 0
         self.simulated_points = 0
+        self.retried_points = 0
         self.results: List[Any] = []
         self.cancel_requested = False
         self._events: List[Dict[str, Any]] = []
@@ -217,10 +249,16 @@ class Job:
             self.started_unix = time.time()
         self.add_event("job.started")
 
-    def finish(self, state: str, error: Optional[str] = None) -> None:
+    def finish(self, state: str, error: Optional[str] = None) -> bool:
+        """Move to a terminal state; True only for the claiming caller.
+
+        The bool makes racing finishers (e.g. concurrent cancels, or a
+        cancel racing the job thread) safe: exactly one caller claims
+        the transition and owns the side effects (metrics, events).
+        """
         with self._lock:
             if self.state in TERMINAL_STATES:
-                return
+                return False
             self.state = state
             self.error = error
             self.finished_unix = time.time()
@@ -228,6 +266,7 @@ class Job:
         if error:
             fields["error"] = error
         self.add_event("job.finished", **fields)
+        return True
 
     def point_done(self, label: str, source: str, sim_seconds: float) -> None:
         """Record one completed point (source: simulated|cache|dedup)."""
@@ -246,6 +285,14 @@ class Job:
             source=source,
             sim_s=round(sim_seconds, 6),
             done=f"{done}/{total}",
+        )
+
+    def point_retry(self, label: str, error: str, attempt: int) -> None:
+        """Record a failed attempt that the scheduler will retry."""
+        with self._lock:
+            self.retried_points += 1
+        self.add_event(
+            "point.retry", label=label, attempt=attempt, error=error
         )
 
     # -- serialization --------------------------------------------------
@@ -268,6 +315,7 @@ class Job:
                 "cached_points": self.cached_points,
                 "deduped_points": self.deduped_points,
                 "simulated_points": self.simulated_points,
+                "retried_points": self.retried_points,
                 "events": len(self._events),
             }
 

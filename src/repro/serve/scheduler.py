@@ -27,6 +27,17 @@ stops waiting at the next point boundary. Points already handed to the
 executor run to completion (their results still land in the point
 cache — they may be shared with other jobs), they are just no longer
 waited on.
+
+Fault tolerance (DESIGN.md §9): a failed point attempt is retried with
+exponential backoff (``REPRO_RETRIES`` / ``REPRO_RETRY_BACKOFF_S``); a
+collapsed process pool is rebuilt (generation-counted, so racing job
+threads rebuild at most once per collapse) and its in-flight points
+retried; ``REPRO_POINT_TIMEOUT_S`` abandons straggler attempts. Every
+job exit path — done, failed, cancelled, daemon drain — finalizes the
+run manifest with a ``status``, so ``results/runs/`` never holds an
+orphaned manifest-less directory. :meth:`JobScheduler.drain` (wired to
+SIGTERM by ``repro.serve.app``) stops dispatching and lets running jobs
+stop at the next point boundary with a ``partial`` manifest.
 """
 
 from __future__ import annotations
@@ -35,13 +46,24 @@ import copy
 import heapq
 import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine import pointcache
 from repro.engine.parallel import (
+    backoff_delay,
     default_workers,
     finish_manifest,
+    point_timeout_s,
+    retry_backoff_s,
+    retry_limit,
     run_spec,
     start_manifest,
 )
@@ -86,9 +108,11 @@ class JobScheduler:
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Future] = {}
         self._stopping = False
+        self._draining = False
         self._dispatcher: Optional[threading.Thread] = None
         self._job_threads: List[threading.Thread] = []
         self._executor = None
+        self._executor_gen = 0
         self._log = obs_events.get_event_log()
         self._init_metrics()
 
@@ -116,23 +140,31 @@ class JobScheduler:
             "serve_points_total", "points served, by provenance",
             labels=("source",),
         )
+        self.m_retries = r.counter(
+            "serve_point_retries_total", "point attempts retried"
+        )
+        self.m_rebuilds = r.counter(
+            "serve_pool_rebuilds_total", "executor rebuilds after a collapse"
+        )
         self.m_job_seconds = r.histogram(
             "serve_job_seconds", "wall-clock seconds per finished job"
         )
 
     # -- lifecycle ------------------------------------------------------
 
+    def _new_executor(self):
+        if self.workers > 1:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        # Single-worker mode stays in-process: no pool spawn cost and
+        # injectable simulate callables (tests).
+        return ThreadPoolExecutor(max_workers=1)
+
     def start(self) -> None:
         """Create the executor and dispatcher thread (idempotent)."""
         with self._lock:
             if self._dispatcher is not None:
                 return
-            if self.workers > 1:
-                self._executor = ProcessPoolExecutor(max_workers=self.workers)
-            else:
-                # Single-worker mode stays in-process: no pool spawn cost
-                # and injectable simulate callables (tests).
-                self._executor = ThreadPoolExecutor(max_workers=1)
+            self._executor = self._new_executor()
             self._dispatcher = threading.Thread(
                 target=self._dispatch_loop, name="serve-dispatcher", daemon=True
             )
@@ -153,6 +185,62 @@ class JobScheduler:
                 thread.join(timeout=10)
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
+
+    def drain(self) -> None:
+        """Stop launching jobs; running jobs stop at the next point
+        boundary (their manifests finalize as ``partial``). Queued jobs
+        stay queued — a later restart can still see them in the job
+        table. ``/healthz`` reports ``draining`` while this is in
+        effect."""
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+            self._wake.notify_all()
+        self._log.info("serve.draining")
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is executing; False if ``timeout`` expires."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._wake:
+            while self._running > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._wake.wait(
+                    timeout=0.5 if remaining is None else min(0.5, remaining)
+                )
+        return True
+
+    def _maybe_rebuild(self, gen: int) -> None:
+        """Replace a collapsed executor (once per collapse).
+
+        ``gen`` is the generation the caller's future was submitted
+        under; if another job thread already rebuilt (generation moved
+        on) this is a no-op, so N threads observing the same
+        ``BrokenProcessPool`` trigger exactly one rebuild. All in-flight
+        futures belong to the dead pool at that point, so the dedup
+        table is cleared wholesale — attachers observe the broken
+        future and re-acquire against the new pool.
+        """
+        with self._lock:
+            if self._stopping or self._executor_gen != gen:
+                return
+            old = self._executor
+            self._executor = self._new_executor()
+            self._executor_gen += 1
+            self._inflight.clear()
+        self.m_rebuilds.inc()
+        self._log.warning("serve.pool.rebuild", workers=self.workers)
+        old.shutdown(wait=False, cancel_futures=True)
 
     # -- submission / lookup / cancel -----------------------------------
 
@@ -197,19 +285,25 @@ class JobScheduler:
             )
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a queued or running job (terminal jobs are a no-op)."""
+        """Cancel a queued or running job (terminal jobs are a no-op).
+
+        The terminal transition happens *under the scheduler lock* and
+        only the caller whose ``finish`` claims it touches the queue
+        count and metrics — racing cancels of the same job can neither
+        double-decrement ``_queued`` (driving ``serve_queue_depth``
+        negative and leaking an admission slot) nor double-increment
+        ``serve_jobs_finished_total``.
+        """
         job = self.get(job_id)
+        claimed = False
         with self._lock:
             job.cancel_requested = True
-            if job.state == "queued":
-                # Lazy heap deletion: the dispatcher skips cancelled jobs.
+            if job.state == "queued" and job.finish("cancelled"):
+                # Lazy heap deletion: the dispatcher skips finished jobs.
+                claimed = True
                 self._queued -= 1
                 self.m_queue_depth.set(self._queued)
-                finish_now = True
-            else:
-                finish_now = False
-        if finish_now:
-            job.finish("cancelled")
+        if claimed:
             self.m_finished.labels(state="cancelled").inc()
         self._log.info("serve.job.cancel", job=job.id, state=job.state)
         return job
@@ -228,15 +322,22 @@ class JobScheduler:
     def _dispatch_loop(self) -> None:
         while True:
             with self._lock:
-                while not self._stopping and not (
-                    self._heap and self._running < self.max_concurrent_jobs
+                while not self._stopping and (
+                    self._draining
+                    or not (
+                        self._heap
+                        and self._running < self.max_concurrent_jobs
+                    )
                 ):
                     self._wake.wait(timeout=0.5)
                 if self._stopping:
                     return
                 _prio, _seq, job = heapq.heappop(self._heap)
-                if job.cancel_requested or job.state != "queued":
-                    continue  # lazily deleted entry
+                if job.state != "queued":
+                    continue  # lazily deleted (cancelled) entry
+                # Still under the lock: once the job leaves "queued",
+                # a racing cancel() can no longer treat it as queued.
+                job.mark_running()
                 self._queued -= 1
                 self._running += 1
                 self.m_queue_depth.set(self._queued)
@@ -254,8 +355,8 @@ class JobScheduler:
         try:
             self._run_job(job)
         except BaseException as exc:  # defensive: never kill the daemon
-            job.finish("failed", error=f"{type(exc).__name__}: {exc}")
-            self.m_finished.labels(state="failed").inc()
+            if job.finish("failed", error=f"{type(exc).__name__}: {exc}"):
+                self.m_finished.labels(state="failed").inc()
         finally:
             with self._lock:
                 self._running -= 1
@@ -270,36 +371,52 @@ class JobScheduler:
 
     def _acquire_point(
         self, spec, run_dir: Optional[str]
-    ) -> Tuple[str, Optional[object], Optional[Future], bool]:
-        """Resolve one spec to (source, result, future, owner).
+    ) -> Tuple[str, Optional[object], Optional[Future], bool, int]:
+        """Resolve one spec to (source, result, future, owner, gen).
 
-        Cache hit -> ("cache", result, None, False); in-flight identical
-        simulation -> ("dedup", None, future, False); otherwise submit a
-        fresh simulation -> ("simulated", None, future, True).
+        Cache hit -> ("cache", result, None, False, gen); in-flight
+        identical simulation -> ("dedup", None, future, False, gen);
+        otherwise submit a fresh simulation -> ("simulated", None,
+        future, True, gen). ``gen`` is the executor generation the
+        future belongs to, for :meth:`_maybe_rebuild`.
         """
         fp = pointcache.fingerprint(spec)
         if pointcache.cache_enabled():
-            cached = pointcache.load(fp)
+            cached = pointcache.load(fp, require_attrs=pointcache.RESULT_ATTRS)
             if cached is not None:
                 cached.label = spec.label
                 cached.from_cache = True
                 cached.timeline_file = None
-                return "cache", cached, None, False
+                return "cache", cached, None, False, self._executor_gen
         with self._lock:
             future = self._inflight.get(fp)
             if future is not None:
-                return "dedup", None, future, False
-            future = self._executor.submit(self._simulate, spec, run_dir)
+                return "dedup", None, future, False, self._executor_gen
+            try:
+                future = self._executor.submit(self._simulate, spec, run_dir)
+            except BrokenProcessPool:
+                # The pool died between two jobs' submissions: rebuild
+                # inline (we already hold the lock) and resubmit.
+                old = self._executor
+                self._executor = self._new_executor()
+                self._executor_gen += 1
+                self._inflight.clear()
+                old.shutdown(wait=False, cancel_futures=True)
+                future = self._executor.submit(self._simulate, spec, run_dir)
+            gen = self._executor_gen
             self._inflight[fp] = future
         future.add_done_callback(
             lambda fut, fp=fp: self._point_finished(fp, fut)
         )
-        return "simulated", None, future, True
+        return "simulated", None, future, True, gen
 
     def _point_finished(self, fp: str, future: Future) -> None:
         """Executor callback: retire the in-flight entry, persist result."""
         with self._lock:
-            self._inflight.pop(fp, None)
+            # Identity check: an abandoned straggler completing late must
+            # not evict the retry's fresh future from the dedup table.
+            if self._inflight.get(fp) is future:
+                self._inflight.pop(fp)
         if future.cancelled() or future.exception() is not None:
             return
         if pointcache.cache_enabled():
@@ -308,8 +425,21 @@ class JobScheduler:
             except Exception:
                 pass  # a failed store is only a lost cache entry
 
+    def _abandon_inflight(self, spec, future: Future) -> bool:
+        """Stop dedup-attaching to a straggler we gave up waiting on.
+
+        Returns True when the attempt never started (the cancel landed
+        while it was still queued) — such a timeout is the executor's
+        backlog, not the point's fault, and must not be charged.
+        """
+        cancelled = future.cancel()  # only succeeds if it never started
+        fp = pointcache.fingerprint(spec)
+        with self._lock:
+            if self._inflight.get(fp) is future:
+                self._inflight.pop(fp)
+        return cancelled
+
     def _run_job(self, job: Job) -> None:
-        job.mark_running()
         t0 = time.perf_counter()
         manifest, run_dir = start_manifest(
             f"serve-{job.request.name}", self.workers
@@ -318,49 +448,141 @@ class JobScheduler:
             job.run_id = manifest.run_id
         run_dir_arg = str(run_dir) if run_dir is not None else None
         specs = job.request.specs
-        pending: List[Tuple[int, str, Optional[object], Optional[Future], bool]] = []
-        for index, spec in enumerate(specs):
-            if job.cancel_requested:
-                break
-            pending.append(
-                (index, *self._acquire_point(spec, run_dir_arg))
-            )
-        results: List[Optional[object]] = [None] * len(specs)
-        failure: Optional[str] = None
-        for index, source, result, future, owner in pending:
-            if job.cancel_requested or failure is not None:
-                break
-            spec = specs[index]
-            if future is not None:
-                try:
-                    result = future.result()
-                except Exception as exc:
-                    failure = f"point {spec.label!r}: {type(exc).__name__}: {exc}"
-                    continue
-                if not owner:
-                    # Shared with the owning job: take a private copy and
-                    # stamp our label; we did not pay for the simulation.
-                    result = copy.copy(result)
-                    result.label = spec.label
-                    result.from_cache = True
-                    result.timeline_file = None
-            results[index] = result
-            self.m_points.labels(source=source).inc()
-            job.point_done(spec.label, source, result.sim_seconds)
+        total = len(specs)
+        results: List[Optional[object]] = [None] * total
+        attempts: List[int] = [0] * total
+        errors: Dict[int, str] = {}
+        retries = retry_limit()
+        backoff = retry_backoff_s()
+        timeout = point_timeout_s()
+
+        def finalize(status: str) -> None:
+            if manifest is not None and run_dir is not None:
+                finish_manifest(
+                    manifest,
+                    run_dir,
+                    specs,
+                    results,
+                    time.perf_counter() - t0,
+                    status=status,
+                    errors=errors,
+                    attempts=attempts,
+                )
+
+        def interrupted() -> bool:
+            return job.cancel_requested or self._draining
+
+        try:
+            # Acquire everything up front so identical points across the
+            # job dedup onto one simulation.
+            acquired: List[Optional[Tuple]] = [None] * total
+            for index, spec in enumerate(specs):
+                if interrupted():
+                    break
+                acquired[index] = self._acquire_point(spec, run_dir_arg)
+                attempts[index] = 1
+            for index, spec in enumerate(specs):
+                if interrupted() or errors:
+                    break
+                entry = acquired[index]
+                if entry is None:  # acquisition was interrupted
+                    break
+                source, result, future, owner, gen = entry
+                while True:
+                    if future is None:  # cache hit
+                        break
+                    charged = True
+                    error: Optional[str] = None
+                    try:
+                        if owner and timeout is not None:
+                            result = future.result(timeout=timeout)
+                        else:
+                            result = future.result()
+                    except FuturesTimeout:
+                        if self._abandon_inflight(spec, future):
+                            error = "cancelled before start (queued past timeout)"
+                            charged = False
+                        else:
+                            error = (
+                                f"TimeoutError: attempt exceeded {timeout}s"
+                            )
+                    except CancelledError:
+                        # Collateral of a pool rebuild's cancel_futures:
+                        # the attempt never ran, so it costs nothing.
+                        error = "cancelled before start"
+                        charged = False
+                    except BrokenProcessPool as exc:
+                        self._maybe_rebuild(gen)
+                        error = f"{type(exc).__name__}: {exc}"
+                    except Exception as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                    if error is None:
+                        if not owner:
+                            # Shared with the owning job: take a private
+                            # copy and stamp our label; we did not pay
+                            # for the simulation.
+                            result = copy.copy(result)
+                            result.label = spec.label
+                            result.from_cache = True
+                            result.timeline_file = None
+                        break
+                    if charged and attempts[index] > retries:
+                        errors[index] = error
+                        break
+                    if interrupted():
+                        break  # leave the point skipped, not retried
+                    if charged:
+                        delay = backoff_delay(backoff, attempts[index])
+                        job.point_retry(spec.label, error, attempts[index])
+                        self.m_retries.inc()
+                        self._log.warning(
+                            "serve.point.retry",
+                            job=job.id,
+                            label=spec.label,
+                            attempt=attempts[index],
+                            backoff_s=delay,
+                            error=error,
+                        )
+                        if delay:
+                            time.sleep(delay)
+                        attempts[index] += 1
+                    source, result, future, owner, gen = (
+                        self._acquire_point(spec, run_dir_arg)
+                    )
+                if index in errors or (result is None and future is not None):
+                    break  # permanent failure, or interrupted mid-wait
+                if result is None:
+                    break  # interrupted before a result materialized
+                results[index] = result
+                self.m_points.labels(source=source).inc()
+                job.point_done(spec.label, source, result.sim_seconds)
+        except BaseException:
+            # Unexpected abort: still leave a finalized manifest behind
+            # (the thread backstop records the error on the job).
+            finalize("failed")
+            raise
         wall = time.perf_counter() - t0
+        completed = sum(1 for r in results if r is not None)
         if job.cancel_requested:
-            job.finish("cancelled")
-            self.m_finished.labels(state="cancelled").inc()
+            status, final_state, error = "cancelled", "cancelled", None
+        elif errors:
+            first = min(errors)
+            status, final_state = "failed", "failed"
+            error = f"point {specs[first].label!r}: {errors[first]}"
+        elif self._draining and completed < total:
+            status, final_state = "partial", "cancelled"
+            error = "drained: daemon shutting down"
+        else:
+            status, final_state, error = "done", "done", None
+            job.results = [r for r in results if r is not None]
+        # Finalize the manifest *before* the terminal transition: the
+        # moment a client can observe the terminal state, the artifacts
+        # and metrics must already agree with it.
+        finalize(status)
+        if job.finish(final_state, error=error):
+            self.m_finished.labels(state=final_state).inc()
+        if status != "done":
             return
-        if failure is not None:
-            job.finish("failed", error=failure)
-            self.m_finished.labels(state="failed").inc()
-            return
-        job.results = [r for r in results if r is not None]
-        if manifest is not None and run_dir is not None:
-            finish_manifest(manifest, run_dir, specs, job.results, wall)
-        job.finish("done")
-        self.m_finished.labels(state="done").inc()
         self.m_job_seconds.observe(wall)
         self._log.info(
             "serve.job.finish",
@@ -369,5 +591,6 @@ class JobScheduler:
             points=len(job.results),
             cached=job.cached_points,
             deduped=job.deduped_points,
+            retried=job.retried_points,
             wall_s=wall,
         )

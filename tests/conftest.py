@@ -93,6 +93,11 @@ def _isolate_observability(tmp_path_factory):
         "REPRO_LOG_LEVEL",
         "REPRO_NO_MANIFEST",
         "REPRO_CACHE_MAX_MB",
+        "REPRO_RETRIES",
+        "REPRO_RETRY_BACKOFF_S",
+        "REPRO_POINT_TIMEOUT_S",
+        "REPRO_FAULT_SPEC",
+        "REPRO_FAULT_STATE",
     ):
         mp.delenv(var, raising=False)
     yield

@@ -94,6 +94,15 @@ class TestParallelRunner:
         results = run_tasks(divmod, [(7, 3), (9, 4)], max_workers=1)
         assert results == [(2, 1), (2, 1)]
 
+    def test_run_tasks_preserves_order_across_workers(self):
+        # Regression: completion-order results must land back at their
+        # submission index (the old list.index lookup was also O(n²)).
+        import operator
+
+        tasks = [(i, 0) for i in range(10)]
+        results = run_tasks(operator.sub, tasks, max_workers=2)
+        assert results == list(range(10))
+
 
 class TestPointCache:
     def test_hit_equals_fresh_simulation(self, cache_dir):

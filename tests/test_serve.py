@@ -31,7 +31,7 @@ from repro.experiments.common import (
     point_row,
     point_spec,
 )
-from repro.obs.manifest import runs_dir
+from repro.obs.manifest import RunManifest, runs_dir
 from repro.obs.validate import validate_run_dir
 from repro.serve import (
     JobScheduler,
@@ -210,6 +210,191 @@ class TestScheduler:
         assert request.priority == 3
         assert len(request.specs) == len(SPEC_BUILDERS["fig1"](SETTINGS))
 
+    def test_unknown_point_keys_rejected(self):
+        with pytest.raises(BadRequest) as err:
+            parse_job_request(
+                {"points": [{"label": "x", "swepper": True, "waz": 4}]}
+            )
+        message = str(err.value)
+        assert "swepper" in message and "waz" in message
+        assert "allowed" in message  # the 400 teaches the valid keys
+
+    def test_unservable_experiments_rejected_with_reason(self):
+        for name in ("fig9", "table1"):
+            with pytest.raises(BadRequest) as err:
+                parse_job_request({"experiment": name})
+            assert "not servable" in str(err.value)
+
+
+@pytest.fixture()
+def recovery_env(monkeypatch):
+    """Fault-tolerance tests: manifests ON, cache off, instant retries."""
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "0")
+
+
+def job_manifest(job):
+    """Load + schema-validate the manifest a served job left behind."""
+    assert job.run_id, "job finished without a run_id"
+    run_dir = runs_dir() / job.run_id
+    manifest = RunManifest.load(run_dir / "manifest.json")
+    validate_run_dir(run_dir)
+    return manifest
+
+
+class TestFaultTolerance:
+    def test_concurrent_cancels_decrement_once(self, sched_env):
+        # Regression: racing cancels of one queued job used to each
+        # decrement _queued (driving serve_queue_depth negative and
+        # leaking admission slots) and double-count the finish metric.
+        s = JobScheduler(workers=1)  # never started: jobs stay queued
+        s.submit(one_request("bystander", 1))
+        doomed = s.submit(one_request("doomed", 2))
+        barrier = threading.Barrier(8)
+
+        def attack():
+            barrier.wait()
+            s.cancel(doomed.id)
+
+        threads = [threading.Thread(target=attack) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert doomed.state == "cancelled"
+        assert s._queued == 1  # exactly the bystander
+        text = s.registry.render_text()
+        assert 'serve_jobs_finished_total{state="cancelled"} 1' in text
+        assert "serve_queue_depth 1" in text
+        events = [e["event"] for e in doomed.events_since(0)[0]]
+        assert events.count("job.finished") == 1
+        s.stop()
+
+    def test_transient_failure_retried_to_done(self, recovery_env):
+        calls = []
+
+        def simulate(spec, run_dir):
+            calls.append(spec.seed)
+            if len(calls) == 1:
+                raise RuntimeError("transient glitch")
+            return FakeResult(spec.label)
+
+        s = JobScheduler(workers=1, simulate=simulate)
+        job = s.submit(one_request("a", 1))
+        s.start()
+        wait_terminal([job])
+        s.stop()
+        assert job.state == "done"
+        assert job.retried_points == 1
+        assert len(calls) == 2
+        events = [e["event"] for e in job.events_since(0)[0]]
+        assert "point.retry" in events
+        manifest = job_manifest(job)
+        assert manifest.status == "done"
+        assert manifest.points[0].status == "done"
+        assert manifest.points[0].attempts == 2
+        assert "serve_point_retries_total 1" in s.registry.render_text()
+
+    def test_exhausted_retries_fail_job_with_manifest(
+        self, recovery_env, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RETRIES", "0")
+
+        def simulate(spec, run_dir):
+            raise RuntimeError("hard failure")
+
+        s = JobScheduler(workers=1, simulate=simulate)
+        job = s.submit(one_request("a", 1))
+        s.start()
+        wait_terminal([job])
+        s.stop()
+        assert job.state == "failed"
+        assert "hard failure" in job.error
+        manifest = job_manifest(job)
+        assert manifest.status == "failed"
+        assert manifest.points[0].status == "failed"
+        assert "hard failure" in manifest.points[0].error
+        assert manifest.points[0].attempts == 1
+
+    def test_cancel_mid_run_finalizes_manifest(self, recovery_env):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def simulate(spec, run_dir):
+            entered.set()
+            release.wait(timeout=10)
+            return FakeResult(spec.label)
+
+        s = JobScheduler(workers=1, simulate=simulate)
+        job = s.submit(
+            JobRequest("a", [one_spec(1, "p1"), one_spec(2, "p2")], SCALE)
+        )
+        s.start()
+        assert entered.wait(5)
+        s.cancel(job.id)
+        release.set()
+        wait_terminal([job])
+        s.stop()
+        assert job.state == "cancelled"
+        manifest = job_manifest(job)
+        assert manifest.status == "cancelled"
+        # The in-flight point finished its boundary; the rest never ran.
+        assert [p.status for p in manifest.points] == ["done", "skipped"]
+
+    def test_drain_stops_at_point_boundary(self, recovery_env):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def simulate(spec, run_dir):
+            if spec.label == "p1":
+                entered.set()
+                release.wait(timeout=10)
+            return FakeResult(spec.label)
+
+        s = JobScheduler(workers=1, max_concurrent_jobs=1, simulate=simulate)
+        running = s.submit(
+            JobRequest("a", [one_spec(1, "p1"), one_spec(2, "p2")], SCALE)
+        )
+        queued = s.submit(one_request("b", 3))
+        s.start()
+        assert entered.wait(5)
+        s.drain()
+        assert s.draining
+        release.set()
+        wait_terminal([running])
+        assert s.wait_idle(timeout=10)
+        # The running job stopped at the next point boundary...
+        assert running.state == "cancelled"
+        assert "drained" in running.error
+        manifest = job_manifest(running)
+        assert manifest.status == "partial"
+        assert [p.status for p in manifest.points] == ["done", "skipped"]
+        # ...and the queued job was never launched.
+        assert queued.state == "queued"
+        s.stop()
+
+    def test_point_timeout_abandons_straggler(self, recovery_env, monkeypatch):
+        monkeypatch.setenv("REPRO_POINT_TIMEOUT_S", "0.25")
+        monkeypatch.setenv("REPRO_RETRIES", "3")
+        calls = []
+
+        def simulate(spec, run_dir):
+            calls.append(spec.seed)
+            if len(calls) == 1:
+                time.sleep(1.2)  # straggler: several timeout windows
+            return FakeResult(spec.label)
+
+        s = JobScheduler(workers=1, simulate=simulate)
+        job = s.submit(one_request("a", 1))
+        s.start()
+        wait_terminal([job])
+        s.stop()
+        assert job.state == "done"
+        assert job.retried_points >= 1
+        manifest = job_manifest(job)
+        assert manifest.status == "done"
+        assert manifest.points[0].attempts >= 2
+
 
 @pytest.fixture()
 def make_server(cache_dir):
@@ -225,7 +410,9 @@ def make_server(cache_dir):
         thread.start()
         created.append((server, scheduler))
         host, port = server.server_address[:2]
-        return ServeClient(f"http://{host}:{port}")
+        client = ServeClient(f"http://{host}:{port}")
+        client.scheduler = scheduler  # for drain/fault tests
+        return client
 
     yield factory
     for server, scheduler in created:
@@ -255,6 +442,28 @@ class TestServeHTTP:
         with pytest.raises(ServeError) as err:
             client.cancel("job-missing")
         assert err.value.status == 404
+
+    def test_unknown_point_key_is_400(self, make_server):
+        client = make_server(start=False)
+        with pytest.raises(ServeError) as err:
+            client.submit_points([{"label": "x", "seed": 1, "swepper": True}])
+        assert err.value.status == 400
+        assert "swepper" in err.value.payload["error"]
+
+    def test_unservable_experiment_is_400(self, make_server):
+        client = make_server(start=False)
+        with pytest.raises(ServeError) as err:
+            client.submit({"experiment": "fig9"})
+        assert err.value.status == 400
+        assert "not servable" in err.value.payload["error"]
+
+    def test_healthz_reports_draining(self, make_server):
+        client = make_server()
+        assert client.healthz()["status"] == "ok"
+        client.scheduler.drain()
+        health = client.healthz()
+        assert health["status"] == "draining"
+        assert health["ok"] is True  # still serving reads
 
     def test_queue_full_is_429(self, make_server):
         client = make_server(start=False, queue_limit=2)
