@@ -1,0 +1,43 @@
+"""Distributed worker fleet for the serve daemon (DESIGN.md §10).
+
+``python -m repro.serve --backend cluster`` turns the daemon into a
+coordinator; ``python -m repro.cluster.worker`` agents lease batches of
+points over a versioned JSON/HTTP protocol, simulate them with the
+unchanged engine, and upload results keyed by the point-cache
+fingerprint — so a fleet run is bit-identical to a serial one.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    Lease,
+    LeaseExpired,
+    PendingPoint,
+    WorkerInfo,
+    WorkerLeaseError,
+    WorkerPointError,
+)
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SaltMismatch,
+    UnknownWorker,
+)
+
+# The agent side (ClusterClient / WorkerAgent / LocalTransport) lives in
+# repro.cluster.worker and is deliberately NOT imported here: importing
+# it at package-init time would make `python -m repro.cluster.worker`
+# warn about the module being pre-imported.
+
+__all__ = [
+    "ClusterCoordinator",
+    "Lease",
+    "LeaseExpired",
+    "PendingPoint",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SaltMismatch",
+    "UnknownWorker",
+    "WorkerInfo",
+    "WorkerLeaseError",
+    "WorkerPointError",
+]

@@ -1,0 +1,659 @@
+"""Coordinator-side state of the cluster: workers, leases, pending points.
+
+The scheduler's execution seam hands points here instead of a local
+``ProcessPoolExecutor`` when the daemon runs with ``--backend cluster``
+(or ``hybrid``): :meth:`ClusterCoordinator.submit` returns a plain
+:class:`concurrent.futures.Future` that the existing per-job wait /
+retry / timeout loop consumes unchanged. Worker agents then drive the
+other side over the wire protocol (:mod:`repro.cluster.protocol`):
+
+* ``lease`` pops up to a batch of pending points, stamps a deadline
+  (``REPRO_CLUSTER_LEASE_TTL_S``), and ships the pickled specs;
+* ``heartbeat`` renews deadlines while the worker is simulating;
+* ``complete`` uploads pickled :class:`PointResult` objects keyed by
+  the point-cache fingerprint — the coordinator stamps the uploading
+  ``worker_id`` on each result (recorded per point in the run
+  manifest) and fulfils the future;
+* a lease whose deadline passes with no heartbeat **expires**: every
+  unresolved point's future fails with :class:`LeaseExpired`, which the
+  scheduler's retry machinery treats exactly like a crashed local
+  worker — one attempt charged, exponential backoff, re-acquire (and
+  the re-acquired point lands back in this queue for the next healthy
+  worker). A late upload from a worker presumed dead is not wasted:
+  the result is stored straight into the point cache, so the retry
+  becomes a cache hit.
+
+Lease state machine (DESIGN.md §10)::
+
+    pending --lease--> leased --complete--> done
+       ^                  |--fail/point-failure--> failed (charged)
+       |                  |--expire (no heartbeat)--> expired (charged)
+       |                  `--release (worker drain)--> requeued (free)
+       `------------------------------------------------'
+
+Locking: the coordinator has one lock for its tables. Futures are
+**never** resolved while holding it — ``set_result`` runs done
+callbacks inline, and the scheduler's callback takes the scheduler
+lock, so resolving under the coordinator lock would deadlock against a
+job thread that holds the scheduler lock while enqueuing
+(:meth:`submit` is called from ``_acquire_point``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.cluster import protocol
+from repro.engine import pointcache
+from repro.obs import events as obs_events
+from repro.obs.metrics import MetricsRegistry
+
+#: worker states surfaced by ``GET /workers``.
+WORKER_STATES = ("idle", "working", "lost", "draining")
+
+
+class LeaseExpired(RuntimeError):
+    """A leased point's worker missed its heartbeat deadline."""
+
+
+class WorkerPointError(RuntimeError):
+    """A worker reported a per-point simulation failure."""
+
+
+class WorkerLeaseError(RuntimeError):
+    """A worker aborted a whole lease (e.g. its local pool collapsed)."""
+
+
+@dataclass
+class PendingPoint:
+    """One enqueued simulation: the spec plus the future the scheduler
+    is waiting on."""
+
+    fingerprint: str
+    spec: Any
+    run_dir: Optional[str]
+    future: Future
+    enqueued_unix: float
+    claimed: bool = False  # set_running_or_notify_cancel already called
+
+
+@dataclass
+class Lease:
+    """A batch of points granted to one worker until a deadline."""
+
+    lease_id: str
+    worker_id: str
+    entries: Dict[str, PendingPoint]  # fingerprint -> point
+    granted_unix: float
+    deadline_unix: float
+    state: str = "active"  # active | done | failed | expired
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker agent."""
+
+    worker_id: str
+    name: Optional[str]
+    host: str
+    pid: int
+    capacity: int
+    registered_unix: float
+    last_seen_unix: float
+    lost: bool = False
+    draining: bool = False
+    points_done: int = 0
+    points_failed: int = 0
+    leases_granted: int = 0
+    lease_ids: set = field(default_factory=set)
+
+    def state(self) -> str:
+        if self.lost:
+            return "lost"
+        if self.draining:
+            return "draining"
+        return "working" if self.lease_ids else "idle"
+
+    def snapshot(self, now: float) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "name": self.name,
+            "host": self.host,
+            "pid": self.pid,
+            "capacity": self.capacity,
+            "state": self.state(),
+            "registered_unix": self.registered_unix,
+            "last_seen_unix": self.last_seen_unix,
+            "seen_ago_s": max(0.0, now - self.last_seen_unix),
+            "points_done": self.points_done,
+            "points_failed": self.points_failed,
+            "leases_granted": self.leases_granted,
+            "leases_active": len(self.lease_ids),
+        }
+
+
+class ClusterCoordinator:
+    """Lease table + pending queue behind the scheduler's cluster backend."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        lease_ttl: Optional[float] = None,
+        heartbeat: Optional[float] = None,
+        batch: Optional[int] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.lease_ttl = (
+            lease_ttl if lease_ttl is not None else protocol.lease_ttl_s()
+        )
+        # Named heartbeat_s (not heartbeat) so the config value cannot
+        # shadow the heartbeat() protocol handler below.
+        self.heartbeat_s = (
+            heartbeat if heartbeat is not None else protocol.heartbeat_s()
+        )
+        self.batch = batch if batch is not None else protocol.batch_size()
+        self.poll = protocol.poll_s()
+        self._lock = threading.Lock()
+        self._pending: Deque[PendingPoint] = deque()
+        self._workers: Dict[str, WorkerInfo] = {}
+        self._leases: Dict[str, Lease] = {}
+        self._draining = False
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._log = obs_events.get_event_log()
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        r = self.registry
+        self.m_leases_granted = r.counter(
+            "cluster_leases_granted_total", "leases handed to workers"
+        )
+        self.m_lease_expired = r.counter(
+            "cluster_lease_expired_total",
+            "leases expired after a missed heartbeat (points requeued)",
+        )
+        self.m_points_remote = r.counter(
+            "cluster_points_remote_total",
+            "point results uploaded by cluster workers",
+        )
+        self.m_point_failures = r.counter(
+            "cluster_point_failures_total",
+            "per-point failures reported by workers",
+        )
+        self.m_points_released = r.counter(
+            "cluster_points_released_total",
+            "unstarted points returned by draining workers (uncharged)",
+        )
+        self.m_registered = r.counter(
+            "cluster_workers_registered_total", "worker registrations accepted"
+        )
+        self.m_late_results = r.counter(
+            "cluster_late_results_total",
+            "uploads that arrived after their lease expired (cached anyway)",
+        )
+        self._g_pending = r.gauge(
+            "cluster_pending_points", "points waiting for a lease"
+        )
+        self._g_leases = r.gauge(
+            "cluster_leases_active", "leases currently outstanding"
+        )
+        self._g_workers = r.gauge(
+            "cluster_workers", "registered workers by state", labels=("state",)
+        )
+        r.register_collector(self._collect)
+
+    def _collect(self, _registry: MetricsRegistry) -> None:
+        with self._lock:
+            pending = len(self._pending)
+            active = sum(
+                1 for l in self._leases.values() if l.state == "active"
+            )
+            states = {state: 0 for state in WORKER_STATES}
+            for worker in self._workers.values():
+                states[worker.state()] += 1
+        self._g_pending.set(pending)
+        self._g_leases.set(active)
+        for state, count in states.items():
+            self._g_workers.labels(state=state).set(count)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the lease-expiry monitor thread (idempotent)."""
+        with self._lock:
+            if self._monitor is not None:
+                return
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="cluster-monitor", daemon=True
+            )
+        self._monitor.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.join(timeout=5)
+
+    def drain(self) -> None:
+        """Tell the fleet (via lease/heartbeat replies) to wind down."""
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _monitor_loop(self) -> None:
+        tick = max(0.05, min(0.5, self.lease_ttl / 5.0))
+        while not self._stop.wait(tick):
+            self.expire_stale()
+
+    # -- scheduler side (the execution backend seam) --------------------
+
+    def submit(self, spec, run_dir: Optional[str]) -> Future:
+        """Enqueue one point; the future resolves when a worker delivers.
+
+        Called by the scheduler with *its* lock held — this method only
+        touches coordinator state and never resolves a future.
+        """
+        future: Future = Future()
+        entry = PendingPoint(
+            fingerprint=pointcache.fingerprint(spec),
+            spec=spec,
+            run_dir=run_dir,
+            future=future,
+            enqueued_unix=time.time(),
+        )
+        with self._lock:
+            self._pending.append(entry)
+        return future
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- worker-facing protocol handlers --------------------------------
+
+    def register(self, payload: Any) -> Dict[str, Any]:
+        """Handle ``POST /cluster/register``."""
+        body = protocol.check_version(payload)
+        salt = body.get("code_salt")
+        protocol.require(
+            isinstance(salt, str) and bool(salt),
+            "'code_salt' must be a non-empty string",
+        )
+        if salt != pointcache.code_salt():
+            raise protocol.SaltMismatch(
+                "worker runs a different source tree than the coordinator "
+                f"(salt {salt[:12]}... != {pointcache.code_salt()[:12]}...); "
+                "results would not be bit-identical — update the worker"
+            )
+        capacity = body.get("capacity", 1)
+        protocol.require(
+            isinstance(capacity, int) and capacity >= 1,
+            "'capacity' must be an integer >= 1",
+        )
+        now = time.time()
+        worker = WorkerInfo(
+            worker_id=f"w-{uuid.uuid4().hex[:10]}",
+            name=body.get("name") or None,
+            host=str(body.get("host", "?")),
+            pid=int(body.get("pid", 0) or 0),
+            capacity=capacity,
+            registered_unix=now,
+            last_seen_unix=now,
+        )
+        with self._lock:
+            self._workers[worker.worker_id] = worker
+        self.m_registered.inc()
+        self._log.info(
+            "cluster.worker.register",
+            worker=worker.worker_id,
+            name=worker.name,
+            host=worker.host,
+            pid=worker.pid,
+            capacity=capacity,
+        )
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "worker_id": worker.worker_id,
+            "lease_ttl_s": self.lease_ttl,
+            "heartbeat_s": self.heartbeat_s,
+            "batch": self.batch,
+            "poll_s": self.poll,
+        }
+
+    def _touch(self, worker_id: str) -> WorkerInfo:
+        """Look up a worker and refresh its liveness (lock held)."""
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            raise protocol.UnknownWorker(worker_id)
+        worker.last_seen_unix = time.time()
+        worker.lost = False
+        return worker
+
+    def lease(self, payload: Any) -> Dict[str, Any]:
+        """Handle ``POST /cluster/lease``: grant up to a batch of points."""
+        body = protocol.check_version(payload)
+        worker_id = protocol.worker_id_of(body)
+        capacity = body.get("capacity", 1)
+        protocol.require(
+            isinstance(capacity, int) and capacity >= 1,
+            "'capacity' must be an integer >= 1",
+        )
+        granted: List[PendingPoint] = []
+        with self._lock:
+            worker = self._touch(worker_id)
+            want = min(self.batch, capacity)
+            while self._pending and len(granted) < want:
+                entry = self._pending.popleft()
+                if entry.future.done():
+                    continue  # cancelled or resolved while queued
+                if not entry.claimed:
+                    if not entry.future.set_running_or_notify_cancel():
+                        continue  # cancelled by the scheduler's timeout
+                    entry.claimed = True
+                granted.append(entry)
+            if not granted:
+                return {
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "lease_id": None,
+                    "points": [],
+                    "draining": self._draining,
+                    "poll_s": self.poll,
+                }
+            now = time.time()
+            lease = Lease(
+                lease_id=f"lease-{uuid.uuid4().hex[:10]}",
+                worker_id=worker_id,
+                entries={e.fingerprint: e for e in granted},
+                granted_unix=now,
+                deadline_unix=now + self.lease_ttl,
+            )
+            self._leases[lease.lease_id] = lease
+            worker.lease_ids.add(lease.lease_id)
+            worker.leases_granted += 1
+        self.m_leases_granted.inc()
+        self._log.info(
+            "cluster.lease.grant",
+            lease=lease.lease_id,
+            worker=worker_id,
+            points=len(granted),
+            ttl_s=self.lease_ttl,
+        )
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "lease_id": lease.lease_id,
+            "deadline_unix": lease.deadline_unix,
+            "ttl_s": self.lease_ttl,
+            "heartbeat_s": self.heartbeat_s,
+            "draining": self._draining,
+            "points": [
+                {
+                    "fingerprint": e.fingerprint,
+                    "label": e.spec.label,
+                    "spec": protocol.encode_payload(e.spec),
+                }
+                for e in granted
+            ],
+        }
+
+    def heartbeat(self, payload: Any) -> Dict[str, Any]:
+        """Handle ``POST /cluster/heartbeat``: renew lease deadlines."""
+        body = protocol.check_version(payload)
+        worker_id = protocol.worker_id_of(body)
+        lease_ids = protocol.string_list(body, "lease_ids")
+        renewed: List[str] = []
+        gone: List[str] = []
+        with self._lock:
+            self._touch(worker_id)
+            now = time.time()
+            for lease_id in lease_ids:
+                lease = self._leases.get(lease_id)
+                if (
+                    lease is None
+                    or lease.worker_id != worker_id
+                    or lease.state != "active"
+                ):
+                    gone.append(lease_id)
+                    continue
+                lease.deadline_unix = now + self.lease_ttl
+                renewed.append(lease_id)
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "renewed": renewed,
+            "expired": gone,
+            "draining": self._draining,
+        }
+
+    def complete(self, payload: Any) -> Dict[str, Any]:
+        """Handle ``POST /cluster/complete``: results / failures / releases."""
+        body = protocol.check_version(payload)
+        worker_id = protocol.worker_id_of(body)
+        lease_id = body.get("lease_id")
+        protocol.require(
+            isinstance(lease_id, str) and bool(lease_id),
+            "'lease_id' must be a non-empty string",
+        )
+        results = body.get("results", [])
+        failures = body.get("failures", [])
+        released = protocol.string_list(body, "released")
+        protocol.require(
+            isinstance(results, list) and isinstance(failures, list),
+            "'results' and 'failures' must be lists",
+        )
+
+        to_resolve: List[Tuple[PendingPoint, Any]] = []
+        to_fail: List[Tuple[PendingPoint, str]] = []
+        late_results: List[Tuple[str, Any]] = []
+        requeue: List[PendingPoint] = []
+        with self._lock:
+            worker = self._touch(worker_id)
+            lease = self._leases.get(lease_id)
+            lease_live = (
+                lease is not None
+                and lease.worker_id == worker_id
+                and lease.state == "active"
+            )
+            entries = lease.entries if lease_live else {}
+            for item in results:
+                protocol.require(
+                    isinstance(item, dict)
+                    and isinstance(item.get("fingerprint"), str)
+                    and isinstance(item.get("payload"), str),
+                    "each result needs string 'fingerprint' and 'payload'",
+                )
+                result = protocol.decode_payload(item["payload"])
+                result.worker_id = worker_id
+                fp = item["fingerprint"]
+                entry = entries.get(fp)
+                if entry is not None and not entry.future.done():
+                    to_resolve.append((entry, result))
+                else:
+                    # Lease expired (or a duplicate): the scheduler has
+                    # moved on, but the simulation is real — cache it so
+                    # the retry becomes a cache hit instead of a rerun.
+                    late_results.append((fp, result))
+                worker.points_done += 1
+            for item in failures:
+                protocol.require(
+                    isinstance(item, dict)
+                    and isinstance(item.get("fingerprint"), str)
+                    and isinstance(item.get("error"), str),
+                    "each failure needs string 'fingerprint' and 'error'",
+                )
+                entry = entries.get(item["fingerprint"])
+                worker.points_failed += 1
+                if entry is not None and not entry.future.done():
+                    to_fail.append((entry, item["error"]))
+            for fp in released:
+                entry = entries.get(fp)
+                if entry is not None and not entry.future.done():
+                    requeue.append(entry)
+            if lease_live:
+                lease.state = "failed" if to_fail else "done"
+                lease.entries = {}
+                worker.lease_ids.discard(lease_id)
+            for entry in requeue:
+                # Returned unstarted by a draining worker: back to the
+                # front of the queue, no attempt charged, same future.
+                self._pending.appendleft(entry)
+
+        # Outside the lock: resolve futures (runs scheduler callbacks).
+        for entry, result in to_resolve:
+            try:
+                entry.future.set_result(result)
+            except InvalidStateError:
+                late_results.append((entry.fingerprint, result))
+        for entry, error in to_fail:
+            try:
+                entry.future.set_exception(
+                    WorkerPointError(f"{error} (worker {worker_id})")
+                )
+            except InvalidStateError:
+                pass
+        if late_results and pointcache.cache_enabled():
+            for fp, result in late_results:
+                try:
+                    pointcache.store(fp, result)
+                except Exception:
+                    pass  # a failed store is only a lost cache entry
+        if late_results:
+            self.m_late_results.inc(len(late_results))
+        if to_resolve:
+            self.m_points_remote.inc(len(to_resolve))
+        if to_fail:
+            self.m_point_failures.inc(len(to_fail))
+        if requeue:
+            self.m_points_released.inc(len(requeue))
+        self._log.info(
+            "cluster.lease.complete",
+            lease=lease_id,
+            worker=worker_id,
+            results=len(results),
+            failures=len(failures),
+            released=len(released),
+            late=len(late_results),
+            accepted=lease_live,
+        )
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "accepted": lease_live,
+            "resolved": len(to_resolve),
+            "late": len(late_results),
+        }
+
+    def fail(self, payload: Any) -> Dict[str, Any]:
+        """Handle ``POST /cluster/fail``: abort a whole lease."""
+        body = protocol.check_version(payload)
+        worker_id = protocol.worker_id_of(body)
+        lease_id = body.get("lease_id")
+        error = body.get("error", "worker aborted the lease")
+        protocol.require(
+            isinstance(lease_id, str) and bool(lease_id),
+            "'lease_id' must be a non-empty string",
+        )
+        to_fail: List[PendingPoint] = []
+        with self._lock:
+            worker = self._touch(worker_id)
+            lease = self._leases.get(lease_id)
+            if (
+                lease is not None
+                and lease.worker_id == worker_id
+                and lease.state == "active"
+            ):
+                to_fail = [
+                    e for e in lease.entries.values() if not e.future.done()
+                ]
+                lease.state = "failed"
+                lease.entries = {}
+                worker.lease_ids.discard(lease_id)
+                worker.points_failed += len(to_fail)
+        for entry in to_fail:
+            try:
+                entry.future.set_exception(
+                    WorkerLeaseError(f"{error} (worker {worker_id})")
+                )
+            except InvalidStateError:
+                pass
+        if to_fail:
+            self.m_point_failures.inc(len(to_fail))
+        self._log.warning(
+            "cluster.lease.fail",
+            lease=lease_id,
+            worker=worker_id,
+            points=len(to_fail),
+            error=str(error),
+        )
+        return {"protocol": protocol.PROTOCOL_VERSION, "failed": len(to_fail)}
+
+    # -- expiry ---------------------------------------------------------
+
+    def expire_stale(self, now: Optional[float] = None) -> int:
+        """Expire leases past their deadline; returns how many expired.
+
+        Each unresolved point fails with :class:`LeaseExpired`, which
+        the scheduler's per-point retry loop converts into a charged
+        attempt + re-enqueue — the "requeue" of the lease state machine.
+        """
+        now = time.time() if now is None else now
+        expired: List[Lease] = []
+        to_fail: List[PendingPoint] = []
+        with self._lock:
+            for lease in self._leases.values():
+                if lease.state != "active" or lease.deadline_unix > now:
+                    continue
+                lease.state = "expired"
+                expired.append(lease)
+                to_fail.extend(
+                    e for e in lease.entries.values() if not e.future.done()
+                )
+                lease.entries = {}
+                worker = self._workers.get(lease.worker_id)
+                if worker is not None:
+                    worker.lease_ids.discard(lease.lease_id)
+                    worker.lost = True
+        for lease in expired:
+            self.m_lease_expired.inc()
+            self._log.warning(
+                "cluster.lease.expired",
+                lease=lease.lease_id,
+                worker=lease.worker_id,
+                overdue_s=round(now - lease.deadline_unix, 3),
+            )
+        for entry in to_fail:
+            try:
+                entry.future.set_exception(
+                    LeaseExpired(
+                        f"lease deadline missed for point "
+                        f"{entry.spec.label!r}; worker presumed dead"
+                    )
+                )
+            except InvalidStateError:
+                pass
+        return len(expired)
+
+    # -- introspection ---------------------------------------------------
+
+    def workers_snapshot(self) -> List[Dict[str, Any]]:
+        """Fleet listing for ``GET /workers`` (registration order)."""
+        now = time.time()
+        with self._lock:
+            workers = list(self._workers.values())
+        return [w.snapshot(now) for w in workers]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "pending_points": len(self._pending),
+                "active_leases": sum(
+                    1 for l in self._leases.values() if l.state == "active"
+                ),
+                "workers": len(self._workers),
+                "draining": self._draining,
+            }

@@ -226,9 +226,13 @@ def _apply(fault: Fault, label: str) -> None:
     if fault.kind == "point_error":
         raise FaultInjected(f"point_error injected at point {label!r}")
     if fault.kind == "worker_crash":
-        if multiprocessing.parent_process() is not None:
-            # A real pool worker: die hard so the parent sees a
-            # BrokenProcessPool, exactly like an OOM kill.
+        if (
+            multiprocessing.parent_process() is not None
+            or os.environ.get("REPRO_CLUSTER_WORKER") == "1"
+        ):
+            # A real pool worker — or a cluster worker agent, which must
+            # die hard even on its in-process path so the coordinator
+            # observes a missed heartbeat: exactly like an OOM kill.
             os._exit(CRASH_EXIT_CODE)
         # In-process execution: exiting would kill the test/daemon
         # process itself; degrade to a raised (retryable) error.

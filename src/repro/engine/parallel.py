@@ -295,8 +295,10 @@ def run_cached_spec(spec: PointSpec, run_dir: Optional[str] = None):
         cached.label = spec.label
         cached.from_cache = True
         # The cached pickle may reference a timeline from the run that
-        # produced it; that file belongs to another run directory.
+        # produced it (that file belongs to another run directory) and a
+        # cluster worker_id from the run that simulated it.
         cached.timeline_file = None
+        cached.worker_id = None
         return cached
     result = run_spec(spec, run_dir=run_dir)
     pointcache.store(fp, result)
@@ -406,6 +408,7 @@ def _point_record(
         status=status,
         error=error,
         attempts=max(1, attempts),
+        worker_id=getattr(result, "worker_id", None),
     )
 
 

@@ -79,6 +79,11 @@ class PointResult:
     #: manifest-relative path of this point's epoch timeline JSONL, when
     #: the point was freshly simulated under REPRO_EPOCH (else None)
     timeline_file: Optional[str] = None
+    #: cluster worker that simulated the point (stamped by the
+    #: coordinator; None for local / cached results). Provenance only —
+    #: deliberately excluded from point_row so served rows stay
+    #: byte-identical regardless of which host simulated them.
+    worker_id: Optional[str] = None
 
     @property
     def throughput_mrps(self) -> float:

@@ -63,6 +63,11 @@ _ENV_KEYS = (
     "REPRO_POINT_TIMEOUT_S",
     "REPRO_FAULT_SPEC",
     "REPRO_FAULT_STATE",
+    "REPRO_CLUSTER_LEASE_TTL_S",
+    "REPRO_CLUSTER_HEARTBEAT_S",
+    "REPRO_CLUSTER_BATCH",
+    "REPRO_CLUSTER_POLL_S",
+    "REPRO_SERVE_TIMEOUT_S",
 )
 
 
@@ -117,6 +122,8 @@ class PointRecord:
     status: str = "done"  # done | failed | skipped
     error: Optional[str] = None  # last error when status == "failed"
     attempts: int = 1  # how many times the point was tried
+    #: cluster worker that simulated the point (None = local / cached).
+    worker_id: Optional[str] = None
 
 
 @dataclass

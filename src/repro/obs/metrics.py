@@ -146,6 +146,12 @@ class _Family:
             leaf._emit(out, labels)
         return out
 
+    def text_samples(self) -> List[Tuple[str, float]]:
+        """Samples in text-exposition order (overridden by Histogram,
+        whose ``_bucket`` lines must come out in ascending ``le`` order
+        rather than lexicographically)."""
+        return sorted(self.samples().items())
+
     def _emit(self, out: Dict[str, float], labels: Optional[Dict[str, str]]) -> None:
         raise NotImplementedError
 
@@ -277,6 +283,30 @@ class Histogram(_Family):
         out[sample_name(f"{self.name}_count", labels)] = float(self._count)
         out[sample_name(f"{self.name}_sum", labels)] = self._sum
 
+    def text_samples(self) -> List[Tuple[str, float]]:
+        """Exposition-order samples: cumulative ``_bucket`` lines in
+        ascending upper-bound order ending at the explicit ``+Inf``
+        bucket, then ``_count`` and ``_sum`` — the order Prometheus
+        scrape tooling requires (a lexicographic sort would put
+        ``+Inf`` first and ``"10.0"`` before ``"5.0"``)."""
+        out: List[Tuple[str, float]] = []
+        leaves = list(self._iter_leaves())
+        leaves.sort(
+            key=lambda pair: tuple(sorted((pair[1] or {}).items()))
+        )
+        for leaf, labels in leaves:  # type: ignore[misc]
+            for le, n in leaf.bucket_counts().items():  # ascending, +Inf last
+                bucket_labels = dict(labels or {})
+                bucket_labels["le"] = le
+                out.append(
+                    (sample_name(f"{self.name}_bucket", bucket_labels), float(n))
+                )
+            out.append(
+                (sample_name(f"{self.name}_count", labels), float(leaf._count))
+            )
+            out.append((sample_name(f"{self.name}_sum", labels), leaf._sum))
+        return out
+
     def reset(self) -> None:
         self._bucket_counts = [0] * (len(self.buckets) + 1)
         self._count = 0
@@ -381,6 +411,6 @@ class MetricsRegistry:
             if family.help:
                 lines.append(f"# HELP {name} {family.help}")
             lines.append(f"# TYPE {name} {family.kind}")
-            for key, value in sorted(family.samples().items()):
+            for key, value in family.text_samples():
                 lines.append(f"{key} {_format_value(value)}")
         return "\n".join(lines) + "\n" if lines else ""

@@ -5,14 +5,28 @@ happens inside a measure phase; this module turns those JSONL series
 into the short human-readable digests the CLI prints after
 ``--emit-timeline`` runs: dirty-eviction totals and onset epoch, sweep
 activity, per-level hit-rate drift, and DDIO occupancy range.
+
+It is also a small CLI::
+
+    python -m repro.report.timeline --list            # one line per run
+    python -m repro.report.timeline results/runs/<id> # full run digest
+    python -m repro.report.timeline --list \
+        --coordinator http://127.0.0.1:8337           # + cluster fleet
+
+``--coordinator`` appends the daemon's ``GET /workers`` listing (worker
+state, leases, points done) to the output, so one command surveys both
+the run history on disk and the live fleet.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigError
+from repro.obs import manifest as obs_manifest
 from repro.obs.manifest import RunManifest
 from repro.obs.timeline import load_jsonl, validate_timeline
 
@@ -115,3 +129,126 @@ def summarize_run(run_dir: Path) -> str:
         except (ConfigError, OSError) as exc:
             lines.append(f"timeline {point.label}: unreadable ({exc})")
     return "\n".join(lines)
+
+
+def list_runs(root: Path) -> str:
+    """One line per run directory under ``root``, newest last."""
+    root = Path(root)
+    if not root.is_dir():
+        return f"no runs under {root}"
+    lines: List[str] = []
+    for run_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+        manifest_path = run_dir / "manifest.json"
+        try:
+            manifest = RunManifest.load(manifest_path)
+        except ConfigError as exc:
+            lines.append(f"{run_dir.name}: unreadable manifest ({exc})")
+            continue
+        retried = sum(1 for p in manifest.points if p.attempts > 1)
+        remote = sum(1 for p in manifest.points if p.worker_id)
+        extras = []
+        if retried:
+            extras.append(f"{retried} retried")
+        if remote:
+            extras.append(f"{remote} remote")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        lines.append(
+            f"{manifest.run_id}: {manifest.status}, "
+            f"{len(manifest.points)} points "
+            f"({manifest.cached_points} cached), "
+            f"wall {manifest.wall_seconds:.1f}s{suffix}"
+        )
+    return "\n".join(lines) if lines else f"no runs under {root}"
+
+
+def summarize_workers(base_url: str) -> str:
+    """Digest of a cluster coordinator's ``GET /workers`` listing."""
+    from repro.cluster.worker import ClusterClient
+
+    client = ClusterClient(base_url)
+    listing = client._request("GET", "/workers")
+    workers = listing.get("workers", [])
+    lines = [
+        f"cluster at {base_url}: backend={listing.get('backend', '?')}, "
+        f"{len(workers)} workers, "
+        f"{listing.get('pending_points', 0)} pending points, "
+        f"{listing.get('active_leases', 0)} active leases"
+        + (" (draining)" if listing.get("draining") else "")
+    ]
+    for worker in workers:
+        name = worker.get("name") or "-"
+        lines.append(
+            f"  {worker['worker_id']} [{worker['state']}] name={name} "
+            f"host={worker.get('host', '?')} pid={worker.get('pid', 0)} "
+            f"capacity={worker.get('capacity', 1)} "
+            f"done={worker.get('points_done', 0)} "
+            f"failed={worker.get('points_failed', 0)} "
+            f"leases={worker.get('leases_active', 0)} "
+            f"seen={worker.get('seen_ago_s', 0.0):.1f}s ago"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report.timeline",
+        description="Summarize run directories, epoch timelines, and "
+        "(optionally) a cluster coordinator's worker fleet.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="run directories (containing manifest.json) or timeline "
+        "JSONL files to digest",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="one line per run under the runs directory",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help="runs root for --list (default: REPRO_RUNS_DIR or results/runs)",
+    )
+    parser.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="also print the /workers fleet listing of this coordinator",
+    )
+    args = parser.parse_args(argv)
+    if not args.list and not args.paths and not args.coordinator:
+        parser.error("nothing to do: pass paths, --list, or --coordinator")
+    status = 0
+    sections: List[str] = []
+    if args.list:
+        root = Path(args.runs_dir) if args.runs_dir else obs_manifest.runs_dir()
+        sections.append(list_runs(root))
+    for raw in args.paths:
+        path = Path(raw)
+        try:
+            if path.is_dir():
+                sections.append(summarize_run(path))
+            else:
+                sections.append(
+                    summarize_timeline(load_jsonl(path), label=path.stem)
+                )
+        except (ConfigError, OSError) as exc:
+            sections.append(f"{path}: {exc}")
+            status = 1
+    if args.coordinator:
+        try:
+            sections.append(summarize_workers(args.coordinator))
+        except Exception as exc:  # connection errors, non-cluster daemon
+            sections.append(
+                f"cluster at {args.coordinator}: unreachable "
+                f"({type(exc).__name__}: {exc})"
+            )
+            status = 1
+    print("\n".join(sections))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

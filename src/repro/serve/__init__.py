@@ -19,6 +19,11 @@ Layers:
   ``GET /jobs/<id>``, ``.../result``, ``.../events``, ``DELETE``,
   ``/healthz``, ``/metrics``);
 * :mod:`repro.serve.client` — a stdlib client used by tests and CI.
+
+With ``--backend cluster`` (or ``hybrid``) the daemon doubles as the
+coordinator of a :mod:`repro.cluster` worker fleet: fresh points go to
+a lease queue that ``python -m repro.cluster.worker`` agents drain over
+the same HTTP server (DESIGN.md §10).
 """
 
 from repro.serve.app import ServeServer, create_server, main
@@ -29,9 +34,10 @@ from repro.serve.jobs import (
     JobRequest,
     parse_job_request,
 )
-from repro.serve.scheduler import JobScheduler, QueueFull, UnknownJob
+from repro.serve.scheduler import BACKENDS, JobScheduler, QueueFull, UnknownJob
 
 __all__ = [
+    "BACKENDS",
     "BadRequest",
     "Job",
     "JobRequest",

@@ -14,8 +14,15 @@ GET       /jobs/<id>/result       finished job's result (shared schema;
 GET       /jobs/<id>/events       cursor-based event polling
                                   (``?cursor=N``)
 DELETE    /jobs/<id>              cancel
-GET       /healthz                liveness + job counts
+GET       /healthz                liveness + job counts + backend
 GET       /metrics                Prometheus text (``text/plain``)
+GET       /workers                cluster fleet listing (404 when the
+                                  backend is ``local``)
+POST      /cluster/register       cluster work-lease protocol
+POST      /cluster/lease          (DESIGN.md §10; bodies built by
+POST      /cluster/heartbeat      ``repro.cluster.protocol``; served
+POST      /cluster/complete       only with ``--backend cluster`` or
+POST      /cluster/fail           ``hybrid``)
 ========  ======================  =======================================
 
 ``python -m repro.serve`` runs :func:`main`. The server is a
@@ -41,6 +48,7 @@ from repro.obs import events as obs_events
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.jobs import BadRequest, parse_job_request
 from repro.serve.scheduler import (
+    BACKENDS,
     DEFAULT_MAX_CONCURRENT_JOBS,
     DEFAULT_QUEUE_LIMIT,
     JobScheduler,
@@ -133,6 +141,25 @@ class ServeHandler(BaseHTTPRequestHandler):
                     200,
                     {"jobs": [j.snapshot() for j in self.server.scheduler.jobs()]},
                 )
+            if path == "/workers":
+                coordinator = self.server.scheduler.coordinator
+                if coordinator is None:
+                    return self._error(
+                        404,
+                        "cluster backend not enabled "
+                        "(start the daemon with --backend cluster|hybrid)",
+                    )
+                stats = coordinator.stats()
+                return self._send(
+                    200,
+                    {
+                        "backend": self.server.scheduler.backend,
+                        "workers": coordinator.workers_snapshot(),
+                        "pending_points": stats["pending_points"],
+                        "active_leases": stats["active_leases"],
+                        "draining": stats["draining"],
+                    },
+                )
             parts = path.strip("/").split("/")
             if len(parts) >= 2 and parts[0] == "jobs":
                 job = self.server.scheduler.get(parts[1])
@@ -168,6 +195,8 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         path, _query = self._route()
+        if path.startswith("/cluster/"):
+            return self._cluster_post(path)
         if path != "/jobs":
             return self._error(404, f"no route for POST {path}")
         try:
@@ -178,6 +207,39 @@ class ServeHandler(BaseHTTPRequestHandler):
         except QueueFull as exc:
             return self._error(429, str(exc))
         return self._send(201, job.snapshot())
+
+    def _cluster_post(self, path: str) -> None:
+        """Dispatch a work-lease protocol message to the coordinator."""
+        from repro.cluster import protocol
+
+        coordinator = self.server.scheduler.coordinator
+        if coordinator is None:
+            return self._error(
+                404,
+                "cluster backend not enabled "
+                "(start the daemon with --backend cluster|hybrid)",
+            )
+        handlers = {
+            "/cluster/register": coordinator.register,
+            "/cluster/lease": coordinator.lease,
+            "/cluster/heartbeat": coordinator.heartbeat,
+            "/cluster/complete": coordinator.complete,
+            "/cluster/fail": coordinator.fail,
+        }
+        handler = handlers.get(path)
+        if handler is None:
+            return self._error(404, f"no route for POST {path}")
+        try:
+            reply = handler(self._read_json())
+        except BadRequest as exc:
+            return self._error(400, str(exc))
+        except protocol.SaltMismatch as exc:
+            return self._error(409, str(exc))
+        except protocol.ProtocolError as exc:
+            return self._error(400, str(exc))
+        except protocol.UnknownWorker as exc:
+            return self._error(404, f"unknown worker {exc.args[0]!r}")
+        return self._send(200, reply)
 
     def do_DELETE(self) -> None:  # noqa: N802
         path, _query = self._route()
@@ -192,16 +254,17 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def _healthz(self) -> None:
         scheduler = self.server.scheduler
-        self._send(
-            200,
-            {
-                "ok": True,
-                "status": "draining" if scheduler.draining else "ok",
-                "uptime_seconds": time.time() - self.server.started_unix,
-                "workers": scheduler.workers,
-                "jobs": scheduler.counts(),
-            },
-        )
+        payload = {
+            "ok": True,
+            "status": "draining" if scheduler.draining else "ok",
+            "uptime_seconds": time.time() - self.server.started_unix,
+            "workers": scheduler.workers,
+            "backend": scheduler.backend,
+            "jobs": scheduler.counts(),
+        }
+        if scheduler.coordinator is not None:
+            payload["cluster"] = scheduler.coordinator.stats()
+        self._send(200, payload)
 
 
 def create_server(
@@ -253,11 +316,20 @@ def main(argv=None) -> int:
         help="seconds SIGTERM waits for running jobs to reach a point "
         "boundary before the server exits",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="local",
+        help="execution backend: 'local' uses this host's pool, "
+        "'cluster' leases every point to repro.cluster.worker agents, "
+        "'hybrid' does both (default %(default)s)",
+    )
     args = parser.parse_args(argv)
     scheduler = JobScheduler(
         workers=args.workers,
         queue_limit=args.queue_limit,
         max_concurrent_jobs=args.max_jobs,
+        backend=args.backend,
     )
     server = create_server(args.host, args.port, scheduler=scheduler)
     scheduler.start()
@@ -290,6 +362,7 @@ def main(argv=None) -> int:
         host=host,
         port=port,
         workers=scheduler.workers,
+        backend=scheduler.backend,
         queue_limit=scheduler.queue_limit,
     )
     try:

@@ -1,23 +1,54 @@
 """Minimal stdlib client for the ``repro.serve`` HTTP API.
 
-Used by the end-to-end tests and the CI smoke job; handy interactively::
+Used by the end-to-end tests, the CI smoke jobs, and the cluster worker
+agent's transport; handy interactively::
 
     from repro.serve.client import ServeClient
     c = ServeClient("http://127.0.0.1:8337")
     job = c.submit_experiment("fig1", scale=0.05)
     snapshot = c.wait(job["id"])
     rows = c.result(job["id"])["rows"]
+
+A connection-refused error (daemon restarting, coordinator not up yet)
+is retried with bounded exponential backoff before it propagates —
+refused means the request never reached the server, so retrying any
+method (including POST) is safe. The per-request socket timeout
+defaults to ``REPRO_SERVE_TIMEOUT_S`` (else 30s); pass ``timeout=`` to
+override per client.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigError
+
+DEFAULT_TIMEOUT_S = 30.0
+#: retries after a refused connection (so N+1 attempts total) ...
+DEFAULT_CONNECT_RETRIES = 5
+#: ... spaced by this first backoff, doubling each retry.
+DEFAULT_CONNECT_BACKOFF_S = 0.1
+
+
+def serve_timeout_s() -> float:
+    """Default request timeout from ``REPRO_SERVE_TIMEOUT_S`` (else 30)."""
+    env = os.environ.get("REPRO_SERVE_TIMEOUT_S", "").strip()
+    if not env:
+        return DEFAULT_TIMEOUT_S
+    try:
+        timeout = float(env)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_SERVE_TIMEOUT_S must be a number, got {env!r}"
+        )
+    if timeout <= 0:
+        raise ConfigError("REPRO_SERVE_TIMEOUT_S must be > 0")
+    return timeout
 
 
 class ServeError(ConfigError):
@@ -31,11 +62,25 @@ class ServeError(ConfigError):
 
 
 class ServeClient:
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: Optional[float] = None,
+        connect_retries: int = DEFAULT_CONNECT_RETRIES,
+        connect_backoff_s: float = DEFAULT_CONNECT_BACKOFF_S,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
+        self.timeout = timeout if timeout is not None else serve_timeout_s()
+        self.connect_retries = connect_retries
+        self.connect_backoff_s = connect_backoff_s
 
     # -- transport ------------------------------------------------------
+
+    @staticmethod
+    def _connection_refused(exc: urllib.error.URLError) -> bool:
+        return isinstance(
+            getattr(exc, "reason", None), ConnectionRefusedError
+        )
 
     def _request(
         self,
@@ -51,16 +96,32 @@ class ServeClient:
             method=method,
             headers={"Content-Type": "application/json"} if data else {},
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                body = resp.read().decode()
-        except urllib.error.HTTPError as exc:
-            body = exc.read().decode()
+        attempt = 0
+        while True:
             try:
-                parsed = json.loads(body)
-            except json.JSONDecodeError:
-                parsed = body
-            raise ServeError(exc.code, parsed)
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as resp:
+                    body = resp.read().decode()
+                break
+            except urllib.error.HTTPError as exc:
+                body = exc.read().decode()
+                try:
+                    parsed = json.loads(body)
+                except json.JSONDecodeError:
+                    parsed = body
+                raise ServeError(exc.code, parsed)
+            except urllib.error.URLError as exc:
+                # Refused = the server socket isn't listening (restart
+                # in progress): nothing was received, so retrying is
+                # idempotent-safe. Anything else propagates untouched.
+                if (
+                    not self._connection_refused(exc)
+                    or attempt >= self.connect_retries
+                ):
+                    raise
+                time.sleep(self.connect_backoff_s * (2 ** attempt))
+                attempt += 1
         if raw:
             return body
         return json.loads(body)

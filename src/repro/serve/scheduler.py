@@ -57,6 +57,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine import pointcache
+from repro.errors import ConfigError
 from repro.engine.parallel import (
     backoff_delay,
     default_workers,
@@ -73,6 +74,12 @@ from repro.serve.jobs import Job, JobRequest
 
 DEFAULT_QUEUE_LIMIT = 64
 DEFAULT_MAX_CONCURRENT_JOBS = 4
+
+#: execution backends (DESIGN.md §10): ``local`` keeps the daemon's own
+#: executor; ``cluster`` hands every fresh point to the lease queue for
+#: remote workers; ``hybrid`` additionally runs an embedded worker agent
+#: in-process so the daemon's own cores drain the same queue.
+BACKENDS = ("local", "cluster", "hybrid")
 
 
 class QueueFull(Exception):
@@ -93,12 +100,26 @@ class JobScheduler:
         max_concurrent_jobs: int = DEFAULT_MAX_CONCURRENT_JOBS,
         registry: Optional[MetricsRegistry] = None,
         simulate=run_spec,
+        backend: str = "local",
     ) -> None:
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.workers = workers if workers is not None else default_workers()
         self.queue_limit = queue_limit
         self.max_concurrent_jobs = max_concurrent_jobs
         self.registry = registry if registry is not None else MetricsRegistry()
         self._simulate = simulate
+        self.backend = backend
+        self.coordinator = None
+        if backend != "local":
+            # Deferred import: repro.cluster.worker imports repro.serve.
+            from repro.cluster.coordinator import ClusterCoordinator
+
+            self.coordinator = ClusterCoordinator(registry=self.registry)
+        self._embedded_agent = None
+        self._embedded_thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._heap: List[Tuple[int, int, Job]] = []
@@ -169,6 +190,33 @@ class JobScheduler:
                 target=self._dispatch_loop, name="serve-dispatcher", daemon=True
             )
             self._dispatcher.start()
+        if self.coordinator is not None:
+            self.coordinator.start()
+        if self.backend == "hybrid":
+            self._start_embedded_agent()
+
+    def _start_embedded_agent(self) -> None:
+        """Hybrid mode: an in-process worker agent drains the same lease
+        queue as remote workers, using the daemon's own cores."""
+        from repro.cluster.worker import LocalTransport, WorkerAgent
+
+        simulate = None
+        if self._simulate is not run_spec:
+            # An injected simulate callable (tests) is not picklable
+            # across processes; the agent then runs it in-process.
+            simulate = lambda spec: self._simulate(spec, None)  # noqa: E731
+        self._embedded_agent = WorkerAgent(
+            LocalTransport(self.coordinator),
+            capacity=self.workers,
+            name="embedded",
+            simulate=simulate,
+        )
+        self._embedded_thread = threading.Thread(
+            target=self._embedded_agent.run,
+            name="serve-embedded-worker",
+            daemon=True,
+        )
+        self._embedded_thread.start()
 
     def stop(self, wait: bool = True) -> None:
         """Stop dispatching; running simulations are abandoned."""
@@ -183,6 +231,12 @@ class JobScheduler:
         for thread in threads:
             if wait:
                 thread.join(timeout=10)
+        if self._embedded_agent is not None:
+            self._embedded_agent.drain()
+            if wait and self._embedded_thread is not None:
+                self._embedded_thread.join(timeout=10)
+        if self.coordinator is not None:
+            self.coordinator.stop()
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
 
@@ -197,6 +251,10 @@ class JobScheduler:
                 return
             self._draining = True
             self._wake.notify_all()
+        if self.coordinator is not None:
+            # Lease / heartbeat replies now carry draining=true, telling
+            # workers to finish their current lease and wind down.
+            self.coordinator.drain()
         self._log.info("serve.draining")
 
     @property
@@ -379,6 +437,15 @@ class JobScheduler:
         otherwise submit a fresh simulation -> ("simulated", None,
         future, True, gen). ``gen`` is the executor generation the
         future belongs to, for :meth:`_maybe_rebuild`.
+
+        With a cluster/hybrid backend the fresh submission goes to the
+        coordinator's lease queue instead of the local executor; the
+        returned future resolves when a worker uploads the result (or
+        fails with :class:`repro.cluster.coordinator.LeaseExpired` when
+        the worker misses its heartbeat deadline — charged and retried
+        by the caller exactly like a local crash). Everything
+        downstream — dedup, retries, timeouts, manifests — is backend
+        agnostic.
         """
         fp = pointcache.fingerprint(spec)
         if pointcache.cache_enabled():
@@ -387,22 +454,34 @@ class JobScheduler:
                 cached.label = spec.label
                 cached.from_cache = True
                 cached.timeline_file = None
+                cached.worker_id = None
                 return "cache", cached, None, False, self._executor_gen
         with self._lock:
             future = self._inflight.get(fp)
             if future is not None:
                 return "dedup", None, future, False, self._executor_gen
-            try:
-                future = self._executor.submit(self._simulate, spec, run_dir)
-            except BrokenProcessPool:
-                # The pool died between two jobs' submissions: rebuild
-                # inline (we already hold the lock) and resubmit.
-                old = self._executor
-                self._executor = self._new_executor()
-                self._executor_gen += 1
-                self._inflight.clear()
-                old.shutdown(wait=False, cancel_futures=True)
-                future = self._executor.submit(self._simulate, spec, run_dir)
+            if self.coordinator is not None:
+                # Lock order scheduler -> coordinator; submit only
+                # enqueues (it never resolves futures), so this cannot
+                # re-enter the scheduler lock.
+                future = self.coordinator.submit(spec, run_dir)
+            else:
+                try:
+                    future = self._executor.submit(
+                        self._simulate, spec, run_dir
+                    )
+                except BrokenProcessPool:
+                    # The pool died between two jobs' submissions:
+                    # rebuild inline (we already hold the lock) and
+                    # resubmit.
+                    old = self._executor
+                    self._executor = self._new_executor()
+                    self._executor_gen += 1
+                    self._inflight.clear()
+                    old.shutdown(wait=False, cancel_futures=True)
+                    future = self._executor.submit(
+                        self._simulate, spec, run_dir
+                    )
             gen = self._executor_gen
             self._inflight[fp] = future
         future.add_done_callback(

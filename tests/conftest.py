@@ -98,6 +98,12 @@ def _isolate_observability(tmp_path_factory):
         "REPRO_POINT_TIMEOUT_S",
         "REPRO_FAULT_SPEC",
         "REPRO_FAULT_STATE",
+        "REPRO_CLUSTER_LEASE_TTL_S",
+        "REPRO_CLUSTER_HEARTBEAT_S",
+        "REPRO_CLUSTER_BATCH",
+        "REPRO_CLUSTER_POLL_S",
+        "REPRO_CLUSTER_WORKER",
+        "REPRO_SERVE_TIMEOUT_S",
     ):
         mp.delenv(var, raising=False)
     yield

@@ -132,6 +132,51 @@ class TestRegistry:
         assert samples["latency_count"] == 5.0
         assert samples["latency_sum"] == pytest.approx(111.5)
 
+    def test_histogram_text_exposition_order(self):
+        # A lexicographic sort would emit +Inf first and "10.0" before
+        # "5.0"; the text format requires ascending cumulative buckets
+        # ending at the explicit +Inf, then _count and _sum.
+        reg = MetricsRegistry()
+        h = reg.histogram("latency", "per-op wall", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 3.0, 7.0, 100.0):
+            h.observe(v)
+        text = reg.render_text()
+        lines = [l for l in text.splitlines() if l.startswith("latency")]
+        assert lines == [
+            'latency_bucket{le="1.0"} 1',
+            'latency_bucket{le="5.0"} 2',
+            'latency_bucket{le="10.0"} 3',
+            'latency_bucket{le="+Inf"} 4',
+            "latency_count 4",
+            "latency_sum 110.5",
+        ]
+        assert text.index("# TYPE latency histogram") < text.index(
+            'latency_bucket{le="1.0"}'
+        )
+        # buckets are cumulative, so the series is monotone
+        counts = [float(l.rsplit(" ", 1)[1]) for l in lines[:4]]
+        assert counts == sorted(counts)
+
+    def test_labelled_histogram_exposition_groups_leaves(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("op_seconds", labels=("op",), buckets=(1.0, 10.0))
+        h.labels(op="read").observe(0.5)
+        h.labels(op="write").observe(5.0)
+        text = reg.render_text()
+        lines = [l for l in text.splitlines() if l.startswith("op_seconds")]
+        assert lines == [
+            'op_seconds_bucket{le="1.0",op="read"} 1',
+            'op_seconds_bucket{le="10.0",op="read"} 1',
+            'op_seconds_bucket{le="+Inf",op="read"} 1',
+            'op_seconds_count{op="read"} 1',
+            'op_seconds_sum{op="read"} 0.5',
+            'op_seconds_bucket{le="1.0",op="write"} 0',
+            'op_seconds_bucket{le="10.0",op="write"} 1',
+            'op_seconds_bucket{le="+Inf",op="write"} 1',
+            'op_seconds_count{op="write"} 1',
+            'op_seconds_sum{op="write"} 5',
+        ]
+
     def test_histogram_rejects_unsorted_buckets(self):
         reg = MetricsRegistry()
         with pytest.raises(ConfigError):

@@ -17,6 +17,8 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.error
+import urllib.request
 
 import pytest
 
@@ -494,6 +496,89 @@ class TestServeHTTP:
         with pytest.raises(ServeError) as err:
             client.events(job["id"], cursor=-1)
         assert err.value.status == 400
+
+
+class TestServeClientTransport:
+    """Connection-refused retry + the REPRO_SERVE_TIMEOUT_S knob."""
+
+    class _FakeResponse:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *_exc):
+            return False
+
+        def read(self):
+            return b'{"ok": true}'
+
+    def test_timeout_env_knob(self, monkeypatch):
+        assert ServeClient("http://x").timeout == 30.0
+        monkeypatch.setenv("REPRO_SERVE_TIMEOUT_S", "7.5")
+        assert ServeClient("http://x").timeout == 7.5
+        assert ServeClient("http://x", timeout=2.0).timeout == 2.0
+        monkeypatch.setenv("REPRO_SERVE_TIMEOUT_S", "soon")
+        with pytest.raises(ConfigError):
+            ServeClient("http://x")
+        monkeypatch.setenv("REPRO_SERVE_TIMEOUT_S", "0")
+        with pytest.raises(ConfigError):
+            ServeClient("http://x")
+
+    def test_connection_refused_retried_with_backoff(self, monkeypatch):
+        calls = {"n": 0}
+
+        def fake_urlopen(request, timeout=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise urllib.error.URLError(
+                    ConnectionRefusedError(111, "refused")
+                )
+            return self._FakeResponse()
+
+        sleeps = []
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+        client = ServeClient("http://127.0.0.1:1", connect_backoff_s=0.1)
+        assert client.healthz() == {"ok": True}
+        assert calls["n"] == 3
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_connection_refused_retries_bounded(self, monkeypatch):
+        calls = {"n": 0}
+
+        def fake_urlopen(request, timeout=None):
+            calls["n"] += 1
+            raise urllib.error.URLError(ConnectionRefusedError(111, "refused"))
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        client = ServeClient(
+            "http://127.0.0.1:1", connect_retries=2, connect_backoff_s=0.0
+        )
+        with pytest.raises(urllib.error.URLError):
+            client.healthz()
+        assert calls["n"] == 3  # initial attempt + 2 retries
+
+    def test_other_transport_errors_not_retried(self, monkeypatch):
+        calls = {"n": 0}
+
+        def fake_urlopen(request, timeout=None):
+            calls["n"] += 1
+            raise urllib.error.URLError(OSError("no route to host"))
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        client = ServeClient("http://127.0.0.1:1")
+        with pytest.raises(urllib.error.URLError):
+            client.healthz()
+        assert calls["n"] == 1
+
+    def test_http_errors_not_retried(self, make_server):
+        # A reachable server returning 4xx must surface immediately as
+        # ServeError (HTTPError is never a connection problem).
+        client = make_server(start=False)
+        before = time.monotonic()
+        with pytest.raises(ServeError) as err:
+            client.job("job-missing")
+        assert err.value.status == 404
+        assert time.monotonic() - before < 2.0  # no backoff loop
 
 
 class TestServeEndToEnd:
