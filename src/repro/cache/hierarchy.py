@@ -52,6 +52,12 @@ class AccessLevel(IntEnum):
 class CacheHierarchy:
     """Private L1/L2 per core plus one shared victim LLC."""
 
+    #: cache implementation hook: the batch engine's hierarchy swaps in
+    #: the struct-of-arrays cache while inheriting every cascade rule
+    #: here unchanged, which is what makes the two engines equivalent by
+    #: construction on the non-accelerated paths.
+    CACHE_CLS = SetAssociativeCache
+
     def __init__(
         self,
         config: SystemConfig,
@@ -61,15 +67,16 @@ class CacheHierarchy:
         self.config = config
         self.num_cores = config.cpu.num_cores
         self.traffic = traffic if traffic is not None else TrafficCounter()
+        cache_cls = self.CACHE_CLS
         self.l1s = [
-            SetAssociativeCache(config.l1, name=f"L1[{c}]")
+            cache_cls(config.l1, name=f"L1[{c}]")
             for c in range(self.num_cores)
         ]
         self.l2s = [
-            SetAssociativeCache(config.l2, name=f"L2[{c}]")
+            cache_cls(config.l2, name=f"L2[{c}]")
             for c in range(self.num_cores)
         ]
-        self.llc = SetAssociativeCache(config.llc, name="LLC")
+        self.llc = cache_cls(config.llc, name="LLC")
         self.ddio_way_mask: Tuple[int, ...] = tuple(range(config.nic.ddio_ways))
         self._core_fill_masks: List[Optional[Tuple[int, ...]]] = [
             None
@@ -211,6 +218,25 @@ class CacheHierarchy:
         self._fill_l1(core, block, dirty=write, kind=kind)
         return AccessLevel.MEM
 
+    def cpu_access_batch(
+        self,
+        core: int,
+        blocks,
+        writes,
+        kind: RegionKind,
+        level_counts: dict,
+    ) -> int:
+        """Array-driven :meth:`cpu_access` over (block, write) pairs.
+
+        ``blocks``/``writes`` are parallel numpy arrays (arbitrary,
+        non-contiguous addresses — the X-Mem tenant's access stream).
+        ``level_counts`` is updated in place; returns the access count.
+        """
+        cpu_access = self.cpu_access
+        for block, write in zip(blocks.tolist(), writes.tolist()):
+            level_counts[cpu_access(core, block, kind, write)] += 1
+        return len(blocks)
+
     def cpu_read(self, core: int, block: int, kind: RegionKind) -> AccessLevel:
         return self.cpu_access(core, block, kind, write=False)
 
@@ -247,6 +273,22 @@ class CacheHierarchy:
                 kind_seen if kind_seen is not None else int(RegionKind.APP)
             )
         return dirty_seen
+
+    def dma_rx_write_run(self, core_hint: int, blocks: Sequence[int]) -> None:
+        """Batched DMA RX: invalidate cached copies, packet lands in DRAM.
+
+        One ``NIC_RX_WR`` memory write per block; dirty copies are
+        superseded by the full-line NIC write (no writeback).
+        """
+        for block in blocks:
+            self.invalidate_block(core_hint, block, discard_dirty=True)
+        self.traffic.counts[MemCategory.NIC_RX_WR] += len(blocks)
+
+    def dma_tx_read_run(self, core_hint: int, blocks: Sequence[int]) -> None:
+        """Batched DMA TX: flush dirty copies, NIC reads from DRAM."""
+        for block in blocks:
+            self.invalidate_block(core_hint, block, discard_dirty=False)
+        self.traffic.counts[MemCategory.NIC_TX_RD] += len(blocks)
 
     def nic_llc_write(
         self, core_hint: int, block: int, kind: RegionKind = RegionKind.RX_BUFFER

@@ -1,0 +1,529 @@
+"""Struct-of-arrays cache state shared by the batch engine's backends.
+
+:class:`SoaCache` is a drop-in replacement for
+:class:`~repro.cache.set_assoc.SetAssociativeCache` whose entire mutable
+state lives in preallocated numpy arrays instead of per-set dicts:
+
+* ``tags``  — int64[num_sets * ways], block address or -1 when invalid;
+* ``dirty`` / ``kind`` — uint8 per slot;
+* ``stamp`` — int64 per slot, a monotonically increasing recency stamp
+  (LRU caches only; see below);
+* ``stats`` — int64[7], one cell per :class:`CacheStats` field;
+* ``tick`` / ``lcg`` — int64[1] scalars for the recency clock and the
+  random-replacement LCG.
+
+Because every byte of state is a flat C-layout array, the native batch
+kernel (:mod:`repro.engine.batchcore`, compiled from ``batchcore.c``)
+can mutate it directly through ctypes pointers, while the pure-Python
+methods here operate on the *same* arrays — the two backends are
+interchangeable mid-simulation and bit-identical by construction of
+their shared state.
+
+LRU-equivalence contract
+------------------------
+
+The object engine keeps per-set recency as dict insertion order (oldest
+first). Here recency is the per-slot ``stamp``: every recency touch
+assigns ``tick`` and increments it, so valid stamps are unique and the
+dict's "first key" is exactly the valid slot with the minimum stamp.
+Invalid slots are found by ``tags == -1`` in way order (no mask) or
+mask order, matching ``tags.index``/mask iteration in the object
+implementation. The random-replacement LCG is the same 32-bit recurrence
+stepped in the same places, so victim draws agree draw-for-draw.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.set_assoc import EvictedLine
+from repro.cache.stats import CacheStats
+from repro.errors import ConfigError
+from repro.mem.layout import RegionKind
+from repro.params import CacheParams
+from repro.traffic import MemCategory, TrafficCounter
+
+#: CacheStats field order; defines the stats array layout for the C side.
+STAT_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(CacheStats)
+)
+
+
+class SoaCacheStats:
+    """Array-backed view with the :class:`CacheStats` interface.
+
+    The hot paths (Python or native) bump cells of the underlying int64
+    array; the dataclass-compatible surface (field attributes,
+    ``as_dict``, ``reset``, rate properties) is what the observability
+    layer and ``stats_totals`` consume.
+    """
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: np.ndarray) -> None:
+        self.array = array
+
+    def as_dict(self) -> dict:
+        return {
+            name: int(value) for name, value in zip(STAT_FIELDS, self.array)
+        }
+
+    def reset(self) -> None:
+        self.array[:] = 0
+
+    @property
+    def accesses(self) -> int:
+        return int(self.array[0] + self.array[1])
+
+    @property
+    def hit_rate(self) -> float:
+        accesses = self.accesses
+        if accesses == 0:
+            return 0.0
+        return int(self.array[0]) / accesses
+
+    @property
+    def miss_rate(self) -> float:
+        accesses = self.accesses
+        if accesses == 0:
+            return 0.0
+        return int(self.array[1]) / accesses
+
+    @property
+    def evictions(self) -> int:
+        return int(self.array[3] + self.array[4])
+
+
+def _stat_property(index: int) -> property:
+    def _get(self: SoaCacheStats) -> int:
+        return int(self.array[index])
+
+    def _set(self: SoaCacheStats, value: int) -> None:
+        self.array[index] = value
+
+    return property(_get, _set)
+
+
+for _index, _name in enumerate(STAT_FIELDS):
+    setattr(SoaCacheStats, _name, _stat_property(_index))
+del _index, _name
+
+
+class ArrayCounts:
+    """Mapping view over an int64[len(MemCategory)] traffic array.
+
+    Implements exactly the dict operations :class:`TrafficCounter`
+    performs on ``counts`` (index get/set, iteration in category order,
+    ``items``/``values``/``keys``/``get``), so a ``TrafficCounter``
+    constructed around it behaves identically to the dict-backed one
+    while the native kernel bumps the array directly.
+    """
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: np.ndarray) -> None:
+        self.array = array
+
+    def __getitem__(self, category) -> int:
+        return int(self.array[category])
+
+    def __setitem__(self, category, value) -> None:
+        self.array[category] = value
+
+    def __iter__(self):
+        return iter(MemCategory)
+
+    def __len__(self) -> int:
+        return len(MemCategory)
+
+    def __contains__(self, category) -> bool:
+        return category in MemCategory.__members__.values()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ArrayCounts):
+            return bool(np.array_equal(self.array, other.array))
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def keys(self):
+        return tuple(MemCategory)
+
+    def values(self):
+        return [int(v) for v in self.array]
+
+    def items(self):
+        return [(c, int(self.array[c])) for c in MemCategory]
+
+    def get(self, category, default=0):
+        return int(self.array[category])
+
+
+def array_traffic_counter() -> Tuple[TrafficCounter, np.ndarray]:
+    """A TrafficCounter whose counts live in a native-visible array."""
+    array = np.zeros(len(MemCategory), dtype=np.int64)
+    return TrafficCounter(counts=ArrayCounts(array)), array
+
+
+class SoaCache:
+    """Set-associative cache on struct-of-arrays state (LRU or random).
+
+    Matches :class:`SetAssociativeCache` operation for operation; see the
+    module docstring for the recency-stamp equivalence argument. The
+    scalar methods here are the readable specification of (and fallback
+    for) the native kernel.
+    """
+
+    def __init__(
+        self, params: CacheParams, name: str = "cache", seed: int = 0x5EED
+    ) -> None:
+        self.params = params
+        self.name = name
+        self.num_sets = params.num_sets
+        self.ways = params.ways
+        n = self.num_sets * self.ways
+        self._random_replacement = params.replacement == "random"
+        self.tags = np.full(n, -1, dtype=np.int64)
+        self.dirty = np.zeros(n, dtype=np.uint8)
+        self.kind = np.zeros(n, dtype=np.uint8)
+        self.stamp = np.full(n, -1, dtype=np.int64)
+        self.tick = np.zeros(1, dtype=np.int64)
+        self.lcg = np.zeros(1, dtype=np.int64)
+        self.lcg[0] = (seed * 2654435761) & 0xFFFFFFFF or 1
+        self.stats_array = np.zeros(len(STAT_FIELDS), dtype=np.int64)
+        self.stats = SoaCacheStats(self.stats_array)
+        if self._random_replacement:
+            self.access = self._access_random
+            self.access_kind = self._access_kind_random
+            self.insert = self._insert_random
+        else:
+            self.access = self._access_lru
+            self.access_kind = self._access_kind_lru
+            self.insert = self._insert_lru
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def set_index(self, block: int) -> int:
+        return block % self.num_sets
+
+    def _slot_of(self, block: int) -> int:
+        """Flat slot index of a resident block, or -1."""
+        base = (block % self.num_sets) * self.ways
+        for slot in range(base, base + self.ways):
+            if self.tags[slot] == block:
+                return slot
+        return -1
+
+    def contains(self, block: int) -> bool:
+        return self._slot_of(block) >= 0
+
+    def is_dirty(self, block: int) -> bool:
+        slot = self._slot_of(block)
+        if slot < 0:
+            raise ConfigError(f"{self.name}: block {block} not present")
+        return bool(self.dirty[slot])
+
+    def kind_of(self, block: int) -> RegionKind:
+        return RegionKind(self.kind_raw_of(block))
+
+    def kind_raw_of(self, block: int) -> int:
+        slot = self._slot_of(block)
+        if slot < 0:
+            raise ConfigError(f"{self.name}: block {block} not present")
+        return int(self.kind[slot])
+
+    def way_of(self, block: int) -> Optional[int]:
+        slot = self._slot_of(block)
+        if slot < 0:
+            return None
+        return slot % self.ways
+
+    def occupancy(self) -> int:
+        return int(np.count_nonzero(self.tags != -1))
+
+    def occupancy_by_kind(self) -> Dict[RegionKind, int]:
+        out = {k: 0 for k in RegionKind}
+        valid = self.tags != -1
+        for kind in RegionKind:
+            out[kind] = int(np.count_nonzero(valid & (self.kind == kind)))
+        return out
+
+    def occupancy_in_ways(self, ways: Sequence[int]) -> int:
+        valid = (self.tags != -1).reshape(self.num_sets, self.ways)
+        return int(valid[:, list(ways)].sum())
+
+    def resident_blocks(self) -> List[int]:
+        return self.tags[self.tags != -1].tolist()
+
+    def publish_metrics(self, registry) -> None:
+        """Same pull collectors as :class:`SetAssociativeCache`."""
+        events = registry.counter(
+            "cache_events_total",
+            "Per-cache event counters (hits, misses, evictions, sweeps)",
+            labels=("cache", "event"),
+        )
+        hit_rate = registry.gauge(
+            "cache_hit_rate",
+            "Cumulative hit rate since the last stats reset",
+            labels=("cache",),
+        )
+
+        def collect(_registry, cache=self) -> None:
+            stats = cache.stats
+            for event, value in stats.as_dict().items():
+                events.labels(cache=cache.name, event=event).set_total(value)
+            hit_rate.labels(cache=cache.name).set(stats.hit_rate)
+
+        registry.register_collector(collect)
+
+    # ------------------------------------------------------------------
+    # probes (``access`` is bound per replacement policy in __init__)
+    # ------------------------------------------------------------------
+
+    def _access_lru(self, block: int, write: bool = False) -> bool:
+        slot = self._slot_of(block)
+        if slot < 0:
+            self.stats_array[1] += 1
+            return False
+        self.stamp[slot] = self.tick[0]
+        self.tick[0] += 1
+        self.stats_array[0] += 1
+        if write:
+            self.dirty[slot] = 1
+        return True
+
+    def _access_random(self, block: int, write: bool = False) -> bool:
+        slot = self._slot_of(block)
+        if slot < 0:
+            self.stats_array[1] += 1
+            return False
+        self.stats_array[0] += 1
+        if write:
+            self.dirty[slot] = 1
+        return True
+
+    def _access_kind_lru(self, block: int, write: bool = False) -> Optional[int]:
+        slot = self._slot_of(block)
+        if slot < 0:
+            self.stats_array[1] += 1
+            return None
+        self.stamp[slot] = self.tick[0]
+        self.tick[0] += 1
+        self.stats_array[0] += 1
+        if write:
+            self.dirty[slot] = 1
+        return int(self.kind[slot])
+
+    def _access_kind_random(
+        self, block: int, write: bool = False
+    ) -> Optional[int]:
+        slot = self._slot_of(block)
+        if slot < 0:
+            self.stats_array[1] += 1
+            return None
+        self.stats_array[0] += 1
+        if write:
+            self.dirty[slot] = 1
+        return int(self.kind[slot])
+
+    def access_run(self, start: int, n: int, write: bool = False) -> List[int]:
+        """Probe ``n`` consecutive blocks; returns the missed ones.
+
+        When the run touches each set at most once (``n <= num_sets``,
+        which divisibility of the hierarchy's set counts guarantees for
+        packet runs), the tag match is one batched numpy gather/compare
+        over the run's sets; otherwise it falls back to scalar probes.
+        """
+        if n > self.num_sets:
+            missed = []
+            access = self.access
+            for block in range(start, start + n):
+                if not access(block, write=write):
+                    missed.append(block)
+            return missed
+        blocks = np.arange(start, start + n, dtype=np.int64)
+        sets = blocks % self.num_sets
+        rows = self.tags.reshape(self.num_sets, self.ways)[sets]
+        match = rows == blocks[:, None]
+        hit_mask = match.any(axis=1)
+        hit_rows = np.nonzero(hit_mask)[0]
+        n_hits = len(hit_rows)
+        if n_hits:
+            ways_hit = match[hit_rows].argmax(axis=1)
+            slots = sets[hit_rows] * self.ways + ways_hit
+            if not self._random_replacement:
+                tick = int(self.tick[0])
+                self.stamp[slots] = np.arange(
+                    tick, tick + n_hits, dtype=np.int64
+                )
+                self.tick[0] = tick + n_hits
+            if write:
+                self.dirty[slots] = 1
+        self.stats_array[0] += n_hits
+        self.stats_array[1] += n - n_hits
+        return blocks[~hit_mask].tolist()
+
+    # ------------------------------------------------------------------
+    # fills (``insert`` is bound per replacement policy in __init__)
+    # ------------------------------------------------------------------
+
+    def _install(
+        self, block: int, victim_slot: int, dirty: bool, kind: int
+    ) -> Optional[EvictedLine]:
+        """Shared insert epilogue: evict the victim, install the block."""
+        evicted: Optional[EvictedLine] = None
+        old_tag = int(self.tags[victim_slot])
+        if old_tag != -1:
+            old_dirty = int(self.dirty[victim_slot])
+            evicted = EvictedLine(
+                old_tag, bool(old_dirty), int(self.kind[victim_slot])
+            )
+            if old_dirty:
+                self.stats_array[4] += 1
+            else:
+                self.stats_array[3] += 1
+        self.tags[victim_slot] = block
+        self.dirty[victim_slot] = 1 if dirty else 0
+        self.kind[victim_slot] = kind
+        if not self._random_replacement:
+            self.stamp[victim_slot] = self.tick[0]
+            self.tick[0] += 1
+        self.stats_array[2] += 1
+        return evicted
+
+    def _insert_lru(
+        self,
+        block: int,
+        dirty: bool,
+        kind: int,
+        way_mask: Optional[Sequence[int]] = None,
+        prefer_invalid: bool = True,
+    ) -> Optional[EvictedLine]:
+        slot = self._slot_of(block)
+        if slot >= 0:
+            self.stamp[slot] = self.tick[0]
+            self.tick[0] += 1
+            if dirty:
+                self.dirty[slot] = 1
+            self.kind[slot] = kind
+            return None
+        base = (block % self.num_sets) * self.ways
+        victim_slot = -1
+        if way_mask is None:
+            # First invalid way in way order, else minimum-stamp way.
+            best = -1
+            best_stamp = 0
+            for slot in range(base, base + self.ways):
+                if self.tags[slot] == -1:
+                    victim_slot = slot
+                    break
+                stamp = int(self.stamp[slot])
+                if best < 0 or stamp < best_stamp:
+                    best, best_stamp = slot, stamp
+            if victim_slot < 0:
+                victim_slot = best
+        else:
+            best = -1
+            best_stamp = 0
+            for way in way_mask:
+                slot = base + way
+                if self.tags[slot] == -1:
+                    victim_slot = slot
+                    break
+                stamp = int(self.stamp[slot])
+                if best < 0 or stamp < best_stamp:
+                    best, best_stamp = slot, stamp
+            if victim_slot < 0:
+                victim_slot = best
+        if victim_slot < 0:
+            raise ConfigError(f"{self.name}: empty way mask for insert")
+        return self._install(block, victim_slot, dirty, kind)
+
+    def _insert_random(
+        self,
+        block: int,
+        dirty: bool,
+        kind: int,
+        way_mask: Optional[Sequence[int]] = None,
+        prefer_invalid: bool = True,
+    ) -> Optional[EvictedLine]:
+        slot = self._slot_of(block)
+        if slot >= 0:
+            if dirty:
+                self.dirty[slot] = 1
+            self.kind[slot] = kind
+            return None
+        base = (block % self.num_sets) * self.ways
+        victim_slot = -1
+        if prefer_invalid:
+            if way_mask is None:
+                for slot in range(base, base + self.ways):
+                    if self.tags[slot] == -1:
+                        victim_slot = slot
+                        break
+            else:
+                for way in way_mask:
+                    if self.tags[base + way] == -1:
+                        victim_slot = base + way
+                        break
+        if victim_slot < 0:
+            lcg = (int(self.lcg[0]) * 1103515245 + 12345) & 0xFFFFFFFF
+            self.lcg[0] = lcg
+            if way_mask is None:
+                victim_slot = base + (lcg >> 16) % self.ways
+            else:
+                if not way_mask:
+                    raise ConfigError(
+                        f"{self.name}: empty way mask for insert"
+                    )
+                victim_slot = base + way_mask[(lcg >> 16) % len(way_mask)]
+        return self._install(block, victim_slot, dirty, kind)
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+
+    def remove(self, block: int) -> Optional[Tuple[bool, int]]:
+        slot = self._slot_of(block)
+        if slot < 0:
+            return None
+        dirty = bool(self.dirty[slot])
+        kind = int(self.kind[slot])
+        self.tags[slot] = -1
+        self.dirty[slot] = 0
+        self.stamp[slot] = -1
+        self.stats_array[5] += 1
+        return dirty, kind
+
+    def sweep(self, block: int) -> bool:
+        removed = self.remove(block)
+        if removed is None:
+            return False
+        self.stats_array[6] += 1
+        return True
+
+    def sweep_run(self, blocks: Sequence[int]) -> int:
+        dropped = 0
+        for block in blocks:
+            slot = self._slot_of(block)
+            if slot < 0:
+                continue
+            self.tags[slot] = -1
+            self.dirty[slot] = 0
+            self.stamp[slot] = -1
+            dropped += 1
+        self.stats_array[5] += dropped
+        self.stats_array[6] += dropped
+        return dropped
+
+    def clear(self) -> None:
+        # In place: the native kernel holds pointers to these arrays.
+        self.tags[:] = -1
+        self.dirty[:] = 0
+        self.kind[:] = 0
+        self.stamp[:] = -1

@@ -9,8 +9,9 @@ a fingerprint of everything that determines the simulation's output:
 * the workload's :meth:`~repro.workloads.base.Workload.cache_key`,
 * the injection policy, Sweeper switches, queue depth, seed, and the
   resolved warmup/measure request counts,
-* a *code-version salt* — a hash over every ``.py`` file of the
-  ``repro`` package — so any source change invalidates all entries.
+* a *code-version salt* — a hash over every ``.py`` and ``.c`` file of
+  the ``repro`` package (the batch engine's kernel source counts as
+  code) — so any source change invalidates all entries.
 
 Environment knobs:
 
@@ -78,7 +79,10 @@ def code_salt() -> str:
     if _code_salt is None:
         package_root = Path(__file__).resolve().parents[1]
         digest = hashlib.sha256()
-        for path in sorted(package_root.rglob("*.py")):
+        sources = sorted(package_root.rglob("*.py")) + sorted(
+            package_root.rglob("*.c")
+        )
+        for path in sources:
             digest.update(str(path.relative_to(package_root)).encode())
             digest.update(b"\0")
             digest.update(path.read_bytes())

@@ -29,8 +29,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.cache.hierarchy import AccessLevel, CacheHierarchy
+from repro.cache.hierarchy import AccessLevel
 from repro.core.api import Sweeper
+from repro.engine.batch import build_hierarchy, resolve_engine
 from repro.errors import ConfigError
 from repro.mem.layout import AddressSpace, RegionKind
 from repro.nic.arrivals import BacklogController
@@ -57,6 +58,11 @@ class TraceConfig:
     warmup_requests: Optional[int] = None
     measure_requests: Optional[int] = None
     seed: int = 42
+    #: trace engine: "object" | "batch"; None defers to ``REPRO_ENGINE``.
+    #: Both engines produce bit-identical results (the equivalence suite
+    #: enforces it), so the engine is provenance, not configuration — it
+    #: deliberately stays out of the point-cache fingerprint.
+    engine: Optional[str] = None
 
     def make_policy(self) -> InjectionPolicy:
         return make_policy(self.policy, self.system.nic.ddio_ways)
@@ -116,7 +122,8 @@ class TraceSimulator:
         self.obs = obs
         system = cfg.system
         self.space = AddressSpace()
-        self.hier = CacheHierarchy(system)
+        self.engine = resolve_engine(cfg.engine)
+        self.hier = build_hierarchy(system, self.engine)
         self.policy = cfg.make_policy()
         if isinstance(self.policy, DdioPolicy):
             self.policy.bind(self.hier)
@@ -383,12 +390,9 @@ class CollocationSimulator(TraceSimulator):
 
     def _xmem_tick(self, core: int) -> None:
         blocks, writes = self.xmem.accesses(core, self.xmem_accesses_per_request)
-        for block, write in zip(blocks.tolist(), writes.tolist()):
-            level = self.hier.cpu_access(
-                core, block, RegionKind.APP, write=write
-            )
-            self._xmem_levels[level] += 1
-            self._xmem_total += 1
+        self._xmem_total += self.hier.cpu_access_batch(
+            core, blocks, writes, RegionKind.APP, self._xmem_levels
+        )
 
     def run_requests(self, count: int, start: int = 0) -> None:
         """Interleave one X-Mem burst with one NF request per tick.

@@ -85,6 +85,16 @@ class DmaPolicy(InjectionPolicy):
         hier.invalidate_block(core, block, discard_dirty=False)
         hier.traffic.record(MemCategory.NIC_TX_RD)
 
+    def rx_write_run(
+        self, hier: CacheHierarchy, core: int, blocks: Sequence[int]
+    ) -> None:
+        hier.dma_rx_write_run(core, blocks)
+
+    def tx_read_run(
+        self, hier: CacheHierarchy, core: int, blocks: Sequence[int]
+    ) -> None:
+        hier.dma_tx_read_run(core, blocks)
+
 
 class DdioPolicy(InjectionPolicy):
     """Direct Cache Access into a configurable number of LLC ways."""

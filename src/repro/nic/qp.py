@@ -71,7 +71,13 @@ class QueuePair:
             dest_node=dest_node,
             qp_id=self.qp_id,
             op=op,
-            transfer_blocks=tuple(transfer_blocks),
+            # ranges pass through untouched: the batch engine recognises
+            # them as contiguous runs without an O(n) scan
+            transfer_blocks=(
+                transfer_blocks
+                if isinstance(transfer_blocks, (tuple, range))
+                else tuple(transfer_blocks)
+            ),
             sweep_buffer=sweep_buffer,
         )
         self.wq.append(entry)

@@ -68,6 +68,9 @@ _ENV_KEYS = (
     "REPRO_CLUSTER_BATCH",
     "REPRO_CLUSTER_POLL_S",
     "REPRO_SERVE_TIMEOUT_S",
+    "REPRO_ENGINE",
+    "REPRO_BATCH_BACKEND",
+    "REPRO_NATIVE_DIR",
 )
 
 
@@ -141,12 +144,19 @@ class RunManifest:
     wall_seconds: float = 0.0
     sim_seconds_total: float = 0.0
     status: str = "done"  # done | partial | failed | cancelled
+    #: trace engine the run was simulated with (``REPRO_ENGINE``); the
+    #: engines are bit-identical, so this is provenance, not identity.
+    engine: str = "object"
     points: List[PointRecord] = field(default_factory=list)
 
     @classmethod
     def create(
         cls, run_label: Optional[str] = None, workers: int = 1
     ) -> "RunManifest":
+        # deferred import: repro.engine.batch pulls numpy and the cache
+        # layer in, which the obs package otherwise never needs
+        from repro.engine.batch import engine_from_env
+
         return cls(
             run_id=new_run_id(run_label),
             run_label=run_label,
@@ -154,6 +164,7 @@ class RunManifest:
             workers=workers,
             host=host_info(),
             env={k: os.environ[k] for k in _ENV_KEYS if k in os.environ},
+            engine=engine_from_env(),
         )
 
     @property

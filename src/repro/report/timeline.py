@@ -147,6 +147,8 @@ def list_runs(root: Path) -> str:
         retried = sum(1 for p in manifest.points if p.attempts > 1)
         remote = sum(1 for p in manifest.points if p.worker_id)
         extras = []
+        if manifest.engine != "object":
+            extras.append(f"engine={manifest.engine}")
         if retried:
             extras.append(f"{retried} retried")
         if remote:

@@ -1,0 +1,375 @@
+"""Differential equivalence: batch engine vs the object-engine oracle.
+
+The batch engine (``repro.engine.batch``) promises *bit-identical*
+results to the dict-based object engine, for both its backends (the
+compiled ``batchcore.c`` kernel and the pure-Python fallback driving the
+same arrays). This suite enforces that contract at three granularities:
+
+1. **Cache fuzz** — a seeded random op sequence replayed against
+   :class:`~repro.cache.set_assoc.SetAssociativeCache` and
+   :class:`~repro.cache.soa.SoaCache`, asserting identical return values
+   (the eviction stream), :class:`CacheStats`, and final line state, for
+   both replacement policies and non-trivial way masks.
+2. **Hierarchy fuzz** — the same idea one level up: random batched ops
+   (access runs, NIC writes/probes, sweeps, DMA, mask changes) against
+   ``CacheHierarchy`` vs ``BatchHierarchy``.
+3. **Harness equivalence** — every figure harness's first spec run end
+   to end under both engines, plus ``REPRO_EPOCH`` chunked runs and the
+   ``CollocationSimulator``, comparing every ``TraceResult`` field.
+"""
+
+from __future__ import annotations
+
+import importlib
+import random
+
+import pytest
+
+from repro.cache.hierarchy import AccessLevel, CacheHierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.soa import SoaCache
+from repro.engine import native
+from repro.engine.batch import BatchHierarchy, build_hierarchy
+from repro.engine.tracer import (
+    CollocationSimulator,
+    TraceConfig,
+    TraceSimulator,
+)
+from repro.experiments.common import ExperimentSettings
+from repro.mem.layout import RegionKind
+from repro.obs.timeline import ObsContext
+from repro.params import CacheParams
+from repro.workloads.xmem import XMemWorkload
+from tests.conftest import make_tiny_kvs, make_tiny_l3fwd, make_tiny_system
+
+# Which batch backends can run here: the Python fallback always, the
+# native kernel when a C compiler is available (load under the ambient
+# env; "python" pinned via REPRO_BATCH_BACKEND disables the native leg).
+try:
+    _NATIVE = native.load_kernel() is not None
+except Exception:  # pragma: no cover - env-dependent
+    _NATIVE = False
+BACKENDS = ("python", "native") if _NATIVE else ("python",)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, monkeypatch):
+    monkeypatch.setenv("REPRO_BATCH_BACKEND", request.param)
+    return request.param
+
+
+# ---------------------------------------------------------------------------
+# 1. cache-level fuzz
+# ---------------------------------------------------------------------------
+
+# (mask for inserts, mask for a second insert flavour) — non-trivial
+# orders exercise the way-mask scan order, which LRU victim choice and
+# the LCG draw both depend on.
+MASKS = {
+    "nomask": (None, None),
+    "masked": ((3, 1, 2), (0, 2)),
+}
+
+
+def _final_state(cache):
+    blocks = sorted(cache.resident_blocks())
+    return [
+        (b, cache.is_dirty(b), cache.kind_raw_of(b), cache.way_of(b))
+        for b in blocks
+    ]
+
+
+@pytest.mark.parametrize("replacement", ["lru", "random"])
+@pytest.mark.parametrize("mask_mode", sorted(MASKS))
+def test_cache_fuzz_identical_streams(replacement, mask_mode):
+    """Seeded op soup: identical eviction stream, stats, and state."""
+    params = CacheParams(
+        size_bytes=8 * 4 * 64, ways=4, latency_cycles=1, replacement=replacement
+    )
+    oracle = SetAssociativeCache(params)
+    soa = SoaCache(params)
+    mask_a, mask_b = MASKS[mask_mode]
+    rng = random.Random(0xF00D)
+    blocks = 4 * params.num_blocks  # working set 4x capacity
+
+    stream_a, stream_b = [], []
+    for step in range(5000):
+        # draw every op argument ONCE per step so both replicas see
+        # identical inputs, then apply the same call to each cache
+        op = rng.randrange(7)
+        block = rng.randrange(blocks)
+        write = rng.random() < 0.5
+        dirty = rng.random() < 0.5
+        kind = rng.randrange(3)
+        prefer = rng.random() < 0.5
+        start = rng.randrange(blocks)
+        run_n = rng.randrange(1, 9)
+        for cache, stream in ((oracle, stream_a), (soa, stream_b)):
+            if op == 0:
+                out = cache.access(block, write=write)
+            elif op == 1:
+                out = cache.access_kind(block, write=False)
+            elif op == 2:
+                evicted = cache.insert(
+                    block,
+                    dirty=dirty,
+                    kind=kind,
+                    way_mask=mask_a,
+                    prefer_invalid=prefer,
+                )
+                out = None if evicted is None else tuple(evicted)
+            elif op == 3:
+                evicted = cache.insert(
+                    block, dirty=True, kind=int(RegionKind.TX_BUFFER),
+                    way_mask=mask_b,
+                )
+                out = None if evicted is None else tuple(evicted)
+            elif op == 4:
+                out = cache.remove(block)
+            elif op == 5:
+                out = cache.sweep(block)
+            else:
+                out = tuple(cache.access_run(start, run_n, write=write))
+            stream.append(out)
+        assert stream_a[-1] == stream_b[-1], f"step {step}: {op=} {block=}"
+
+    assert stream_a == stream_b
+    assert oracle.stats.as_dict() == soa.stats.as_dict()
+    assert _final_state(oracle) == _final_state(soa)
+
+
+# ---------------------------------------------------------------------------
+# 2. hierarchy-level fuzz
+# ---------------------------------------------------------------------------
+
+
+def test_hierarchy_fuzz_identical(backend):
+    system = make_tiny_system(num_cores=2)
+    oracle = CacheHierarchy(system)
+    batch = build_hierarchy(system, "batch")
+    assert isinstance(batch, BatchHierarchy)
+    assert batch.backend == backend
+
+    rng = random.Random(0xBEEF)
+    blocks = 4 * system.llc.num_blocks
+    counts_a = {lv: 0 for lv in AccessLevel}
+    counts_b = {lv: 0 for lv in AccessLevel}
+
+    for step in range(3000):
+        op = rng.randrange(10)
+        core = rng.randrange(system.cpu.num_cores)
+        block = rng.randrange(blocks)
+        kind = RegionKind(rng.randrange(3))
+        if op <= 1:
+            write = rng.random() < 0.4
+            a = oracle.cpu_access(core, block, kind, write)
+            b = batch.cpu_access(core, block, kind, write)
+        elif op <= 3:
+            n = rng.randrange(1, 9)
+            write = rng.random() < 0.4
+            a = oracle.cpu_access_run(core, block, n, kind, write, counts_a)
+            b = batch.cpu_access_run(core, block, n, kind, write, counts_b)
+        elif op == 4:
+            run = range(block, block + rng.randrange(1, 9))
+            a = oracle.nic_llc_write_run(core, run)
+            b = batch.nic_llc_write_run(core, run)
+        elif op == 5:
+            run = range(block, block + rng.randrange(1, 9))
+            a = oracle.nic_probe_read_run(core, run)
+            b = batch.nic_probe_read_run(core, run)
+        elif op == 6:
+            run = range(block, block + rng.randrange(1, 9))
+            a = oracle.sweep_run(core, run)
+            b = batch.sweep_run(core, run)
+        elif op == 7:
+            discard = rng.random() < 0.5
+            a = oracle.invalidate_block(core, block, discard)
+            b = batch.invalidate_block(core, block, discard)
+        elif op == 8:
+            run = range(block, block + rng.randrange(1, 9))
+            if rng.random() < 0.5:
+                a = oracle.dma_rx_write_run(core, run)
+                b = batch.dma_rx_write_run(core, run)
+            else:
+                a = oracle.dma_tx_read_run(core, run)
+                b = batch.dma_tx_read_run(core, run)
+        else:
+            # reconfigure mid-stream: masks and the victim-fill switch
+            choice = rng.randrange(3)
+            if choice == 0:
+                ways = sorted(
+                    rng.sample(range(system.llc.ways), rng.randrange(1, 5))
+                )
+                a = oracle.set_ddio_way_mask(ways)
+                b = batch.set_ddio_way_mask(ways)
+            elif choice == 1:
+                mask = (
+                    None
+                    if rng.random() < 0.3
+                    else rng.sample(range(system.llc.ways), rng.randrange(1, 5))
+                )
+                a = oracle.set_core_fill_mask(core, mask)
+                b = batch.set_core_fill_mask(core, mask)
+            else:
+                flag = rng.random() < 0.5
+                oracle.victim_fill_clean = flag
+                batch.victim_fill_clean = flag
+                a = b = flag
+        assert a == b, f"step {step} op {op}: {a!r} != {b!r}"
+
+    assert counts_a == counts_b
+    assert oracle.traffic.snapshot() == batch.traffic.snapshot()
+    assert oracle.stats_totals() == batch.stats_totals()
+    assert oracle.llc.occupancy_by_kind() == batch.llc.occupancy_by_kind()
+    for ca, cb in zip(oracle.all_caches(), batch.all_caches()):
+        assert _final_state(ca) == _final_state(cb), ca.name
+
+
+# ---------------------------------------------------------------------------
+# 3. end-to-end harness equivalence
+# ---------------------------------------------------------------------------
+
+FIG_MODULES = [
+    "fig1",
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig10",
+    "headline",
+]
+
+
+def _assert_results_equal(a, b) -> None:
+    assert a.requests == b.requests
+    assert a.traffic.snapshot() == b.traffic.snapshot()
+    assert a.level_counts == b.level_counts
+    assert a.cpu_work_cycles == b.cpu_work_cycles
+    assert a.llc_occupancy_by_kind == b.llc_occupancy_by_kind
+    assert a.sweep_instructions == b.sweep_instructions
+    assert a.nic_sweeps == b.nic_sweeps
+    assert a.drops == b.drops
+    assert a.cache_totals == b.cache_totals
+
+
+def _cfg_from_spec(spec, engine: str) -> TraceConfig:
+    """A fast TraceConfig for a figure spec (tiny request counts)."""
+    return TraceConfig(
+        system=spec.system,
+        workload=spec.workload,
+        policy=spec.policy,
+        sweeper=spec.sweeper,
+        nic_tx_sweep=spec.nic_tx_sweep,
+        queued_depth=spec.queued_depth,
+        seed=spec.seed,
+        warmup_requests=192,
+        measure_requests=256,
+        engine=engine,
+    )
+
+
+@pytest.mark.parametrize("fig", FIG_MODULES)
+def test_fig_harness_equivalence(fig, backend):
+    module = importlib.import_module(f"repro.experiments.{fig}")
+    specs = module.specs(ExperimentSettings(scale=0.05))
+    assert specs, fig
+    # First and last specs bracket the grid (different policies/knobs).
+    for spec in (specs[0], specs[-1]):
+        obj = TraceSimulator(_cfg_from_spec(spec, "object")).run()
+        bat = TraceSimulator(_cfg_from_spec(spec, "batch")).run()
+        _assert_results_equal(obj, bat)
+
+
+def test_epoch_chunked_equivalence(backend):
+    """REPRO_EPOCH-style chunked measure loops stay bit-identical."""
+    def run(engine):
+        cfg = TraceConfig(
+            system=make_tiny_system(),
+            workload=make_tiny_kvs(),
+            sweeper=True,
+            warmup_requests=128,
+            measure_requests=300,
+            engine=engine,
+        )
+        obs = ObsContext(epoch_requests=64)  # 4 full epochs + a short one
+        return TraceSimulator(cfg, obs=obs).run()
+
+    _assert_results_equal(run("object"), run("batch"))
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+def test_collocation_equivalence(backend, overlap):
+    """CollocationSimulator (X-Mem tenant) matches across engines."""
+    def run(engine):
+        cfg = TraceConfig(
+            system=make_tiny_system(num_cores=4),
+            workload=make_tiny_l3fwd(),
+            sweeper=True,
+            warmup_requests=128,
+            measure_requests=256,
+            engine=engine,
+        )
+        sim = CollocationSimulator(
+            cfg,
+            XMemWorkload(),
+            xmem_cores=[2, 3],
+            xmem_ways_mask=None if overlap else [0, 1, 2],
+        )
+        return sim.run_collocated()
+
+    a = run("object")
+    b = run("batch")
+    _assert_results_equal(a.nf_result, b.nf_result)
+    assert a.xmem_accesses == b.xmem_accesses
+    assert a.xmem_level_counts == b.xmem_level_counts
+
+
+def test_manifest_records_engine(monkeypatch, tmp_path):
+    """Run manifests carry the engine as provenance (and in env)."""
+    from repro.obs.manifest import RunManifest
+    from repro.report.timeline import list_runs
+
+    monkeypatch.setenv("REPRO_ENGINE", "batch")
+    manifest = RunManifest.create(run_label="eq")
+    assert manifest.engine == "batch"
+    assert manifest.env.get("REPRO_ENGINE") == "batch"
+
+    manifest.code_salt = "abc"
+    run_dir = tmp_path / manifest.run_id
+    manifest.write(run_dir / "manifest.json")
+    listing = list_runs(tmp_path)
+    assert "engine=batch" in listing
+
+    # pre-engine manifests (and object-engine ones) stay loadable and
+    # default to "object", which the listing does not call out
+    data = manifest.to_dict()
+    del data["engine"]
+    assert RunManifest.from_dict(data).engine == "object"
+    monkeypatch.delenv("REPRO_ENGINE")
+    assert RunManifest.create().engine == "object"
+
+
+def test_explicit_engine_overrides_env(monkeypatch):
+    """TraceConfig.engine wins over REPRO_ENGINE."""
+    monkeypatch.setenv("REPRO_ENGINE", "batch")
+    cfg = TraceConfig(
+        system=make_tiny_system(),
+        workload=make_tiny_kvs(),
+        warmup_requests=8,
+        measure_requests=8,
+        engine="object",
+    )
+    sim = TraceSimulator(cfg)
+    assert sim.engine == "object"
+    assert type(sim.hier) is CacheHierarchy
+
+    cfg_env = TraceConfig(
+        system=make_tiny_system(),
+        workload=make_tiny_kvs(),
+        warmup_requests=8,
+        measure_requests=8,
+    )
+    sim_env = TraceSimulator(cfg_env)
+    assert sim_env.engine == "batch"
+    assert isinstance(sim_env.hier, BatchHierarchy)
