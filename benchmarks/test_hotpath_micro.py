@@ -199,3 +199,68 @@ def test_batch_engine_speedup(results_dir):
         # ISSUE target is >=5x; the guard is looser so slow shared CI
         # machines don't flap, while a real regression still fails.
         assert speedup > 2.0
+
+
+def test_observer_overhead(results_dir):
+    """Observer-off vs observer-on wall time -> BENCH_pr7.json.
+
+    Both runs pin the object engine so the numbers isolate the
+    prime+probe tenant's cost (per-request tick + periodic probes), not
+    an engine switch: observer-on runs force the object engine anyway,
+    so the honest baseline is the object engine too.
+    """
+    from repro.experiments.figS1 import OBSERVER, burst_profile
+
+    settings = ExperimentSettings(scale=0.1, measure_multiplier=1.0)
+
+    def bench(observer, burst):
+        spec = point_spec(
+            "observer bench",
+            kvs_system(0.1, 1024, 2, 1024),
+            kvs_workload(0.1, 1024),
+            "ddio",
+            settings=settings,
+            observer=observer,
+            burst=burst,
+        )
+        prev = os.environ.get("REPRO_ENGINE")
+        os.environ["REPRO_ENGINE"] = "object"
+        try:
+            return run_spec(spec)
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_ENGINE", None)
+            else:
+                os.environ["REPRO_ENGINE"] = prev
+
+    off = bench(None, None)
+    on = bench(OBSERVER, burst_profile(1))
+    overhead = on.sim_seconds / off.sim_seconds
+    assert off.trace.leak is None
+    assert on.trace.leak is not None and on.trace.leak["probes"] > 0
+
+    payload = {
+        "benchmark": "hotpath_micro/observer",
+        "point": "kvs_system(0.1, 1024, 2, 1024) @ scale 0.1, object engine",
+        "observer": repr(OBSERVER),
+        "burst": repr(burst_profile(1)),
+        "observer_off_seconds": round(off.sim_seconds, 4),
+        "observer_on_seconds": round(on.sim_seconds, 4),
+        "overhead": round(overhead, 2),
+        "probes": on.trace.leak["probes"],
+        "mi_bits": round(on.trace.leak["mi_bits"], 4),
+    }
+    (results_dir / "BENCH_pr7.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = ["prime+probe observer overhead (reference point, object engine)"]
+    lines.append(f"  {'observer off (s)':28s} {off.sim_seconds:>14.3f}")
+    lines.append(f"  {'observer on (s)':28s} {on.sim_seconds:>14.3f}")
+    lines.append(f"  {'overhead':28s} {overhead:>14.2f}x")
+    lines.append(f"  {'probes':28s} {on.trace.leak['probes']:>14d}")
+    emit(results_dir, "hotpath_observer", "\n".join(lines))
+
+    # Catastrophic-regression guard: the tick is a cheap integer check
+    # per request plus a probe sweep every OBSERVER.period requests.
+    assert overhead < 3.0

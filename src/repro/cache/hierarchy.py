@@ -425,12 +425,20 @@ class CacheHierarchy:
         ddio_ways = registry.gauge(
             "llc_ddio_ways", "Number of LLC ways in the DDIO mask"
         )
+        way_occupancy = registry.gauge(
+            "llc_way_occupancy_blocks",
+            "Valid LLC lines per way index (side-channel pressure view: "
+            "the DDIO ways are the attack surface)",
+            labels=("way",),
+        )
 
         def collect(_registry, hier=self) -> None:
             for kind, count in hier.llc.occupancy_by_kind().items():
                 occupancy.labels(kind=kind.name).set(count)
             ddio_occupancy.set(hier.llc.occupancy_in_ways(hier.ddio_way_mask))
             ddio_ways.set(len(hier.ddio_way_mask))
+            for way, count in enumerate(hier.llc.occupancy_by_way()):
+                way_occupancy.labels(way=str(way)).set(count)
 
         registry.register_collector(collect)
 

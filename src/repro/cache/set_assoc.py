@@ -144,6 +144,15 @@ class SetAssociativeCache:
             1 for m in self._maps for slot in m.values() if slot % n_ways in allowed
         )
 
+    def occupancy_by_way(self) -> List[int]:
+        """Valid lines per way index (length ``self.ways``)."""
+        counts = [0] * self.ways
+        n_ways = self.ways
+        for m in self._maps:
+            for slot in m.values():
+                counts[slot % n_ways] += 1
+        return counts
+
     def publish_metrics(self, registry) -> None:
         """Register pull collectors exposing this cache's counters.
 

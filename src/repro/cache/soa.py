@@ -257,6 +257,11 @@ class SoaCache:
         valid = (self.tags != -1).reshape(self.num_sets, self.ways)
         return int(valid[:, list(ways)].sum())
 
+    def occupancy_by_way(self) -> List[int]:
+        """Valid lines per way index (length ``self.ways``)."""
+        valid = (self.tags != -1).reshape(self.num_sets, self.ways)
+        return [int(n) for n in valid.sum(axis=0)]
+
     def resident_blocks(self) -> List[int]:
         return self.tags[self.tags != -1].tolist()
 

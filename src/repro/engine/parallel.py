@@ -77,8 +77,10 @@ from repro.errors import ConfigError
 from repro.obs import events as obs_events
 from repro.obs import manifest as obs_manifest
 from repro.obs.manifest import PointRecord, RunManifest
+from repro.nic.arrivals import BurstProfile
 from repro.obs.timeline import ObsContext, write_jsonl
 from repro.params import SystemConfig
+from repro.sidechannel.observer import ObserverConfig
 from repro.workloads.base import Workload
 
 T = TypeVar("T")
@@ -181,14 +183,21 @@ class PointSpec:
     seed: int = 42
     warmup_requests: Optional[int] = None
     measure_requests: Optional[int] = None
+    #: prime+probe attacker-observer config (None = off); perturbs the
+    #: simulation, so it participates in the cache fingerprint.
+    observer: Optional[ObserverConfig] = None
+    #: seeded bursty-load profile (None = constant backlog target).
+    burst: Optional[BurstProfile] = None
 
     def cache_key(self) -> str:
         """Deterministic identity of the simulation's inputs.
 
         The label is presentation-only and deliberately excluded;
-        :func:`run_cached_spec` re-stamps it on cache hits.
+        :func:`run_cached_spec` re-stamps it on cache hits. The observer
+        and burst lines are appended only when set, so every pre-existing
+        observer-less fingerprint is unchanged.
         """
-        return "\n".join(
+        key = "\n".join(
             (
                 repr(self.system),
                 self.workload.cache_key(),
@@ -205,6 +214,11 @@ class PointSpec:
                 ),
             )
         )
+        if self.observer is not None:
+            key += "\nobserver=" + repr(self.observer)
+        if self.burst is not None:
+            key += "\nburst=" + repr(self.burst)
+        return key
 
 
 def _timeline_filename(spec: PointSpec) -> str:
@@ -241,12 +255,15 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
         seed=spec.seed,
         warmup_requests=spec.warmup_requests,
         measure_requests=spec.measure_requests,
+        observer=spec.observer,
+        burst=spec.burst,
     )
     obs = ObsContext.from_env()
     profiling = os.environ.get("REPRO_PROFILE", "") == "1"
     log.debug("point.simulate", label=spec.label, pid=os.getpid())
     faults.on_point_start(spec.label)
     start = time.perf_counter()
+    sim = TraceSimulator(cfg, obs=obs)
     if profiling:
         import cProfile
         import io
@@ -254,7 +271,7 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
 
         profiler = cProfile.Profile()
         profiler.enable()
-        trace = TraceSimulator(cfg, obs=obs).run()
+        trace = sim.run()
         profiler.disable()
         buf = io.StringIO()
         pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(20)
@@ -265,13 +282,18 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
             "profile", force=True, label=spec.label, text=buf.getvalue()
         )
     else:
-        trace = TraceSimulator(cfg, obs=obs).run()
+        trace = sim.run()
     elapsed = time.perf_counter() - start
     timeline_file: Optional[str] = None
     if obs is not None and obs.timeline and run_dir is not None:
         rel = Path("timelines") / _timeline_filename(spec)
         write_jsonl(Path(run_dir) / rel, obs.timeline)
         timeline_file = str(rel)
+    probe_file: Optional[str] = None
+    if sim.observer is not None and sim.observer.records and run_dir is not None:
+        rel = Path("probes") / _timeline_filename(spec)
+        write_jsonl(Path(run_dir) / rel, sim.observer.records)
+        probe_file = str(rel)
     profile = ServiceProfile.from_trace(trace)
     perf = solve_peak_throughput(profile, spec.system)
     return PointResult(
@@ -282,6 +304,7 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
         perf=perf,
         sim_seconds=elapsed,
         timeline_file=timeline_file,
+        probe_file=probe_file,
     )
 
 
@@ -294,10 +317,12 @@ def run_cached_spec(spec: PointSpec, run_dir: Optional[str] = None):
     if cached is not None:
         cached.label = spec.label
         cached.from_cache = True
-        # The cached pickle may reference a timeline from the run that
-        # produced it (that file belongs to another run directory) and a
-        # cluster worker_id from the run that simulated it.
+        # The cached pickle may reference a timeline or probe file from
+        # the run that produced it (those files belong to another run
+        # directory) and a cluster worker_id from the run that
+        # simulated it.
         cached.timeline_file = None
+        cached.probe_file = None
         cached.worker_id = None
         return cached
     result = run_spec(spec, run_dir=run_dir)
@@ -405,6 +430,14 @@ def _point_record(
         timeline_file=(
             getattr(result, "timeline_file", None) if result is not None else None
         ),
+        probe_file=(
+            getattr(result, "probe_file", None) if result is not None else None
+        ),
+        observer=repr(spec.observer) if spec.observer is not None else None,
+        probe_seed=(
+            spec.observer.probe_seed if spec.observer is not None else None
+        ),
+        burst=repr(spec.burst) if spec.burst is not None else None,
         status=status,
         error=error,
         attempts=max(1, attempts),

@@ -34,12 +34,14 @@ from repro.core.api import Sweeper
 from repro.engine.batch import build_hierarchy, resolve_engine
 from repro.errors import ConfigError
 from repro.mem.layout import AddressSpace, RegionKind
-from repro.nic.arrivals import BacklogController
+from repro.nic.arrivals import BacklogController, BurstProfile
 from repro.nic.ddio import DdioPolicy, InjectionPolicy, make_policy
 from repro.nic.qp import NicEngine, QueuePair
 from repro.nic.rings import RxRing, TxRing, build_rings
+from repro.obs import events as obs_events
 from repro.obs.timeline import ObsContext
 from repro.params import SystemConfig
+from repro.sidechannel.observer import ObserverConfig, PrimeProbeObserver
 from repro.traffic import MemCategory, TrafficCounter
 from repro.workloads.base import Workload
 
@@ -63,6 +65,22 @@ class TraceConfig:
     #: enforces it), so the engine is provenance, not configuration — it
     #: deliberately stays out of the point-cache fingerprint.
     engine: Optional[str] = None
+    #: prime+probe attacker-observer tenant (None = off, the unchanged
+    #: hot path). Observer runs force the object engine — the observer
+    #: pokes the LLC line-by-line between requests, which the batch
+    #: engine's native context does not model — with a logged
+    #: ``observer.engine_fallback`` event (DESIGN.md §12). Unlike
+    #: ``engine``, the observer IS configuration: it perturbs the
+    #: simulation, so it participates in the point-cache fingerprint.
+    observer: Optional[ObserverConfig] = None
+    #: seeded bursty-load modulation of the backlog target (None = the
+    #: constant ``queued_depth`` target, the unchanged hot path). The
+    #: figS* experiments need it: a constant-rate victim posts exactly
+    #: one packet per request, making arrivals a deterministic function
+    #: of elapsed requests — bursts are what give the observer a
+    #: nontrivial arrival signal to infer. Participates in the
+    #: point-cache fingerprint like ``observer``.
+    burst: Optional[BurstProfile] = None
 
     def make_policy(self) -> InjectionPolicy:
         return make_policy(self.policy, self.system.nic.ddio_ways)
@@ -95,6 +113,9 @@ class TraceResult:
     #: summed CacheStats fields across every cache (field-driven; the
     #: epoch timeline's per-epoch deltas must sum exactly to these)
     cache_totals: Dict[str, int] = field(default_factory=dict)
+    #: side-channel leak digest (:func:`repro.sidechannel.leak_summary`)
+    #: when an observer ran; None for observer-off points.
+    leak: Optional[Dict[str, object]] = None
 
     def per_request(self) -> Dict[MemCategory, float]:
         """Memory accesses per request by category (the figure's bars)."""
@@ -123,6 +144,21 @@ class TraceSimulator:
         system = cfg.system
         self.space = AddressSpace()
         self.engine = resolve_engine(cfg.engine)
+        # Engine seam (DESIGN.md §12): the observer probes the LLC
+        # object-by-object between requests, which the batch engine's
+        # native context does not model, so observer runs force the
+        # object engine. Explicit and logged — never a silent downgrade.
+        self.observer_engine_fallback = (
+            cfg.observer is not None and self.engine == "batch"
+        )
+        if self.observer_engine_fallback:
+            self.engine = "object"
+            obs_events.get_event_log().info(
+                "observer.engine_fallback",
+                requested="batch",
+                used="object",
+                reason="prime+probe observer requires the object engine",
+            )
         self.hier = build_hierarchy(system, self.engine)
         self.policy = cfg.make_policy()
         if isinstance(self.policy, DdioPolicy):
@@ -150,6 +186,18 @@ class TraceSimulator:
         self._buffer_level: Dict[RegionKind, Optional[AccessLevel]] = {
             kind: self.policy.cpu_buffer_level(kind) for kind in RegionKind
         }
+        # The attacker-observer tenant (None = the unchanged hot path).
+        # Ground truth is pull-based: the observer reads the cumulative
+        # RX-ring posted counters at probe time, so no per-arrival hook
+        # touches the victim's fast path.
+        self.observer: Optional[PrimeProbeObserver] = None
+        if cfg.observer is not None:
+            rings = self.rx_rings
+            self.observer = PrimeProbeObserver(
+                cfg.observer,
+                self.hier,
+                lambda: sum(r.posted for r in rings),
+            )
         # Observability is pull-based: publishing registers collectors
         # that read the raw counters at epoch boundaries; the per-request
         # path is byte-for-byte the unobserved one.
@@ -157,6 +205,8 @@ class TraceSimulator:
             self.hier.publish_metrics(obs.registry)
             self.nic.publish_metrics(obs.registry)
             self.sweeper.publish_metrics(obs.registry)
+            if self.observer is not None:
+                self.observer.publish_metrics(obs.registry)
 
     # ------------------------------------------------------------------
     # CPU access helpers (ideal-DDIO bypass lives here)
@@ -270,9 +320,28 @@ class TraceSimulator:
         The epoch sampler runs the measure phase in chunks; threading the
         global request index through keeps the request->core mapping (and
         therefore every result) bit-identical to an unchunked run.
+
+        The observer's sampling hook lives here: probes interleave with
+        victim traffic keyed on the absolute request index, so chunked
+        runs probe at identical points. The burst profile likewise keys
+        its backlog target off the absolute index. With neither feature
+        the loop is byte-for-byte the unobserved one.
         """
         cores = self.cfg.system.cpu.num_cores
+        observer = self.observer
+        burst = self.cfg.burst
+        if (observer is None or not observer.active) and burst is None:
+            for i in range(start, start + count):
+                self.service_one(i % cores)
+            return
+        tick = observer.tick if observer is not None and observer.active else None
+        depth = burst.depth if burst is not None else None
+        backlog = self.backlog
         for i in range(start, start + count):
+            if depth is not None:
+                backlog.target_depth = depth(i)
+            if tick is not None:
+                tick(i)
             self.service_one(i % cores)
 
     def _reset_measurements(self) -> None:
@@ -301,6 +370,10 @@ class TraceSimulator:
             raise ConfigError("measure_requests must be positive")
         self.run_requests(warmup)
         self._reset_measurements()
+        if self.observer is not None:
+            # Prime after the stats reset so the attacker observes only
+            # the measure phase; the arrival baseline is taken here too.
+            self.observer.activate(self.space, start_index=0)
         self._run_measure(measure)
         return TraceResult(
             requests=measure,
@@ -314,6 +387,11 @@ class TraceSimulator:
             nic_sweeps=self.nic.nic_sweeps,
             drops=sum(r.drops for r in self.rx_rings),
             cache_totals=self.hier.stats_totals(),
+            leak=(
+                self.observer.leak_summary(self.engine)
+                if self.observer is not None
+                else None
+            ),
         )
 
     def _run_measure(self, measure: int) -> None:
@@ -404,7 +482,21 @@ class CollocationSimulator(TraceSimulator):
         """
         n_nf = len(self.nf_cores)
         n_xm = len(self.xmem_cores)
+        observer = self.observer
+        burst = self.cfg.burst
+        if (observer is None or not observer.active) and burst is None:
+            for i in range(start, start + count):
+                self._xmem_tick(self.xmem_cores[i % n_xm])
+                self.service_one(self.nf_cores[i % n_nf])
+            return
+        tick = observer.tick if observer is not None and observer.active else None
+        depth = burst.depth if burst is not None else None
+        backlog = self.backlog
         for i in range(start, start + count):
+            if depth is not None:
+                backlog.target_depth = depth(i)
+            if tick is not None:
+                tick(i)
             self._xmem_tick(self.xmem_cores[i % n_xm])
             self.service_one(self.nf_cores[i % n_nf])
 

@@ -22,6 +22,8 @@ from repro.experiments import (
     fig8,
     fig9,
     fig10,
+    figS1,
+    figS2,
     headline,
     table1,
 )
@@ -37,6 +39,8 @@ REGISTRY = {
     "fig8": fig8.run,
     "fig9": fig9.run,
     "fig10": fig10.run,
+    "figS1": figS1.run,
+    "figS2": figS2.run,
     "headline": headline.run,
 }
 
@@ -53,12 +57,17 @@ SPEC_BUILDERS = {
     "fig7": fig7.specs,
     "fig8": fig8.specs,
     "fig10": fig10.specs,
+    "figS1": figS1.specs,
+    "figS2": figS2.specs,
     "headline": headline.specs,
 }
 
 #: experiment id -> why `repro.serve` refuses it by design (HTTP 400
 #: naming the reason, instead of the generic unknown-experiment error).
-#: Everything in REGISTRY is either here or in SPEC_BUILDERS.
+#: Everything in REGISTRY is either here or in SPEC_BUILDERS — the
+#: figS* observer experiments are servable: their PointSpecs carry the
+#: observer/burst knobs, so served runs reproduce local ones
+#: bit-identically (probe seed and all).
 UNSERVABLE = {
     "fig9": (
         "the collocation study simulates two tenants inside one shared "

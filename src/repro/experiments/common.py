@@ -84,6 +84,9 @@ class PointResult:
     #: deliberately excluded from point_row so served rows stay
     #: byte-identical regardless of which host simulated them.
     worker_id: Optional[str] = None
+    #: manifest-relative path of this point's prime+probe JSONL, when
+    #: the point ran an observer and was freshly simulated (else None)
+    probe_file: Optional[str] = None
 
     @property
     def throughput_mrps(self) -> float:
@@ -165,8 +168,10 @@ def point_row(point: PointResult, scale: float) -> Dict[str, object]:
 
     Every value is a plain float/str/bool computed deterministically from
     the point, so two identical simulations serialize byte-identically.
+    The ``leak`` key appears only for observer points, so rows of every
+    pre-existing experiment stay byte-identical too.
     """
-    return {
+    row: Dict[str, object] = {
         "label": point.label,
         "throughput_mrps": point.throughput_mrps,
         "full_scale_mrps": point.full_scale_mrps(scale),
@@ -182,6 +187,9 @@ def point_row(point: PointResult, scale: float) -> Dict[str, object]:
         "sim_seconds": point.sim_seconds,
         "from_cache": point.from_cache,
     }
+    if point.trace.leak is not None:
+        row["leak"] = point.trace.leak
+    return row
 
 
 def _jsonable(value: object) -> bool:
@@ -228,23 +236,30 @@ def point_spec(
     settings: Optional[ExperimentSettings] = None,
     nic_tx_sweep: bool = False,
     seed: int = 42,
+    observer=None,
+    burst=None,
+    measure_requests: Optional[int] = None,
 ) -> PointSpec:
     """Describe one grid point as a picklable, cacheable spec.
 
     The settings' measure-request count is resolved here so the spec is
     self-contained (and so fidelity knobs participate in the cache
-    fingerprint).
+    fingerprint). An explicit ``measure_requests`` overrides the
+    settings-derived count (the figS* observers need more probes than
+    the default measure window provides).
     """
     settings = settings if settings is not None else ExperimentSettings()
-    cfg = TraceConfig(
-        system=system,
-        workload=workload,
-        policy=policy,
-        sweeper=sweeper,
-        nic_tx_sweep=nic_tx_sweep,
-        queued_depth=queued_depth,
-        seed=seed,
-    )
+    if measure_requests is None:
+        cfg = TraceConfig(
+            system=system,
+            workload=workload,
+            policy=policy,
+            sweeper=sweeper,
+            nic_tx_sweep=nic_tx_sweep,
+            queued_depth=queued_depth,
+            seed=seed,
+        )
+        measure_requests = settings.measure_requests(cfg)
     return PointSpec(
         label=label,
         system=system,
@@ -254,7 +269,9 @@ def point_spec(
         nic_tx_sweep=nic_tx_sweep,
         queued_depth=queued_depth,
         seed=seed,
-        measure_requests=settings.measure_requests(cfg),
+        measure_requests=measure_requests,
+        observer=observer,
+        burst=burst,
     )
 
 

@@ -10,10 +10,18 @@ Three generators cover every load shape the paper uses:
 * :class:`SpikeSampler` — §VI-F's microbenchmark behaviour: a small
   probability of an extra service delay sampled uniformly from
   [1, 100] µs, functionally equivalent to packet arrival bursts.
+* :class:`BurstProfile` — a seeded square-wave modulation of the
+  backlog target, used by the ``figS*`` side-channel experiments: a
+  constant-rate victim posts exactly one packet per serviced request,
+  which makes every arrival statistic a deterministic function of
+  elapsed requests and therefore carries no information an attacker
+  could not get from a wall clock. Bursty load is what creates a
+  nontrivial arrival signal for the prime+probe observer to infer.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -63,6 +71,46 @@ class BacklogController:
             raise ConfigError("backlog cannot be negative")
         deficit = max(self.target_depth, 1) - current_backlog
         return max(deficit, 0)
+
+
+@dataclass(frozen=True)
+class BurstProfile:
+    """Seeded square-wave load: backlog target per absolute request.
+
+    Requests are grouped into fixed ``window``-sized windows; each
+    window's backlog target is drawn (seeded, stateless) from
+    ``{low, high}``. A low->high transition posts ``high - low`` packets
+    in one request (a burst); a high->low transition posts nothing while
+    the backlog drains. ``depth`` is a pure function of the absolute
+    request index, so epoch-chunked runs see the identical load shape
+    and the warmup/measure phases replay the same sequence.
+    """
+
+    #: calm-phase backlog target (>= 1: the ring never runs dry).
+    low: int = 1
+    #: burst-phase backlog target; the burst amplitude is ``high - low``.
+    high: int = 33
+    #: requests per window (same-depth windows merge into longer runs).
+    window: int = 24
+    #: seed for the per-window depth draw.
+    seed: int = 5
+
+    def __post_init__(self) -> None:
+        if self.low < 1:
+            raise ConfigError("burst low depth must be >= 1")
+        if self.high < self.low:
+            raise ConfigError("burst high depth must be >= low")
+        if self.window < 1:
+            raise ConfigError("burst window must be >= 1")
+
+    def depth(self, request_index: int) -> int:
+        """Backlog target for one request; stateless and seeded."""
+        w = request_index // self.window
+        x = (w * 2246822519 + self.seed * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF
+        x ^= x >> 15
+        x = (x * 2246822519) & 0xFFFFFFFF
+        x ^= x >> 13
+        return self.high if x & 0x10000 else self.low
 
 
 class SpikeSampler:

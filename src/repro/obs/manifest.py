@@ -122,6 +122,17 @@ class PointRecord:
     from_cache: bool = False
     sim_seconds: float = 0.0
     timeline_file: Optional[str] = None
+    #: manifest-relative path of the probe JSONL for observer points
+    #: freshly simulated in this run (None otherwise). Defaulted, like
+    #: ``observer``/``probe_seed``/``burst``, so pre-observer manifests
+    #: still load.
+    probe_file: Optional[str] = None
+    #: ``repr`` of the point's ObserverConfig (None = no observer).
+    observer: Optional[str] = None
+    #: the observer's probe seed, surfaced for at-a-glance provenance.
+    probe_seed: Optional[int] = None
+    #: ``repr`` of the point's BurstProfile (None = constant load).
+    burst: Optional[str] = None
     status: str = "done"  # done | failed | skipped
     error: Optional[str] = None  # last error when status == "failed"
     attempts: int = 1  # how many times the point was tried

@@ -1,0 +1,96 @@
+"""Probe timeline channel: schema for prime+probe observer records.
+
+The side-channel observer (:mod:`repro.sidechannel`) emits one JSON
+record per probe round; ``run_spec`` persists them as a JSONL file under
+``<run_dir>/probes/`` referenced by the manifest's ``probe_file`` (the
+exact pattern the epoch timeline channel uses for ``timeline_file``).
+This module owns the record schema and its validators so
+``python -m repro.obs.validate`` can check probe artifacts without
+importing the simulator.
+
+Record schema (one JSON object per line)::
+
+    {"schema": 1, "probe": 4, "request": 193, "interval": 41,
+     "arrivals": 41, "hits": 61, "misses": 3,
+     "set_misses": {"17": 2, "40": 1}}
+
+* ``probe`` — 0-based probe index, strictly sequential;
+* ``request`` — absolute request index the probe ran before, strictly
+  increasing (what makes epoch-chunked runs bit-identical);
+* ``interval`` — requests since the previous probe (or activation);
+* ``arrivals`` — ground-truth packets posted to the RX rings during the
+  interval (the victim signal the attacker tries to infer);
+* ``hits`` / ``misses`` — the probe's hit/miss vector summed over the
+  primed lines; a miss is an observed eviction of an attacker line;
+* ``set_misses`` — per-set eviction counts (only non-zero sets), keys
+  are decimal set indices (JSON object keys must be strings).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import ConfigError
+
+PROBE_SCHEMA_VERSION = 1
+
+_INT_FIELDS = ("probe", "request", "interval", "arrivals", "hits", "misses")
+
+
+def validate_probe_record(
+    record: Dict[str, Any], where: str = "probes"
+) -> None:
+    """Raise :class:`ConfigError` if one probe record violates the schema."""
+    if not isinstance(record, dict):
+        raise ConfigError(f"{where}: record is not an object")
+    if record.get("schema") != PROBE_SCHEMA_VERSION:
+        raise ConfigError(
+            f"{where}: schema {record.get('schema')!r} != "
+            f"{PROBE_SCHEMA_VERSION}"
+        )
+    for field in _INT_FIELDS:
+        value = record.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ConfigError(f"{where}: field {field!r} must be an int")
+        if field != "request" and value < 0:
+            raise ConfigError(f"{where}: field {field!r} must be >= 0")
+    set_misses = record.get("set_misses")
+    if not isinstance(set_misses, dict):
+        raise ConfigError(f"{where}: field 'set_misses' must be an object")
+    total = 0
+    for key, value in set_misses.items():
+        if not isinstance(key, str) or not key.isdigit():
+            raise ConfigError(
+                f"{where}: set_misses key {key!r} must be a decimal "
+                "set index"
+            )
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ConfigError(
+                f"{where}: set_misses[{key!r}] must be a positive int"
+            )
+        total += value
+    if total != record["misses"]:
+        raise ConfigError(
+            f"{where}: set_misses sum {total} != misses {record['misses']}"
+        )
+
+
+def validate_probe_timeline(
+    records: List[Dict[str, Any]], where: str = "probes"
+) -> None:
+    """Validate a whole probe JSONL: per-record schema plus ordering."""
+    if not records:
+        raise ConfigError(f"{where}: empty probe timeline")
+    last_request = None
+    for i, record in enumerate(records):
+        validate_probe_record(record, where=f"{where}[{i}]")
+        if record["probe"] != i:
+            raise ConfigError(
+                f"{where}[{i}]: probe index {record['probe']} != {i}"
+            )
+        if last_request is not None and record["request"] <= last_request:
+            raise ConfigError(
+                f"{where}[{i}]: request {record['request']} not strictly "
+                f"after {last_request}"
+            )
+        last_request = record["request"]

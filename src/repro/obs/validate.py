@@ -2,10 +2,13 @@
 
 Walks every ``manifest.json`` under the given root, checks manifest
 schema and structure, and verifies each referenced timeline JSONL parses
-and satisfies the epoch-record schema. CI runs this against
-``results/runs`` after the observability smoke run; ``--require-timeline``
-additionally fails if no timeline was produced at all (catching a smoke
-job that silently ran without ``REPRO_EPOCH``).
+and satisfies the epoch-record schema, plus every referenced probe JSONL
+against the prime+probe record schema (:mod:`repro.obs.probes`). CI runs
+this against ``results/runs`` after the observability smoke run;
+``--require-timeline`` additionally fails if no timeline was produced at
+all (catching a smoke job that silently ran without ``REPRO_EPOCH``),
+and ``--require-probes`` does the same for probe timelines (catching a
+figS smoke job whose observer never fired).
 """
 
 from __future__ import annotations
@@ -13,37 +16,56 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import Tuple
 
 from repro.errors import ConfigError
 from repro.obs.manifest import RunManifest, validate_manifest
+from repro.obs.probes import validate_probe_timeline
 from repro.obs.timeline import load_jsonl, validate_timeline
 
 
-def validate_run_dir(run_dir: Path) -> int:
-    """Validate one run directory; returns the number of timelines."""
+def validate_run_dir(run_dir: Path) -> Tuple[int, int]:
+    """Validate one run directory; returns (timelines, probe files)."""
     manifest = RunManifest.load(run_dir / "manifest.json")
     validate_manifest(manifest, where=str(run_dir))
     timelines = 0
+    probes = 0
     for point in manifest.points:
-        if point.timeline_file is None:
-            continue
-        path = run_dir / point.timeline_file
-        if not path.is_file():
-            raise ConfigError(
-                f"{run_dir}: point {point.label!r} references missing "
-                f"timeline {point.timeline_file}"
+        if point.timeline_file is not None:
+            path = run_dir / point.timeline_file
+            if not path.is_file():
+                raise ConfigError(
+                    f"{run_dir}: point {point.label!r} references missing "
+                    f"timeline {point.timeline_file}"
+                )
+            validate_timeline(
+                load_jsonl(path), where=f"{run_dir}/{point.timeline_file}"
             )
-        validate_timeline(
-            load_jsonl(path), where=f"{run_dir}/{point.timeline_file}"
-        )
-        timelines += 1
-    return timelines
+            timelines += 1
+        if point.probe_file is not None:
+            if point.observer is None:
+                raise ConfigError(
+                    f"{run_dir}: point {point.label!r} has a probe file "
+                    "but no observer config"
+                )
+            path = run_dir / point.probe_file
+            if not path.is_file():
+                raise ConfigError(
+                    f"{run_dir}: point {point.label!r} references missing "
+                    f"probe file {point.probe_file}"
+                )
+            validate_probe_timeline(
+                load_jsonl(path), where=f"{run_dir}/{point.probe_file}"
+            )
+            probes += 1
+    return timelines, probes
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
-        description="Validate run manifests and epoch timelines.",
+        description="Validate run manifests, epoch timelines, and "
+        "prime+probe timelines.",
     )
     parser.add_argument(
         "runs_root", type=Path, help="directory containing run directories"
@@ -52,6 +74,11 @@ def main(argv=None) -> int:
         "--require-timeline",
         action="store_true",
         help="fail unless at least one valid timeline exists",
+    )
+    parser.add_argument(
+        "--require-probes",
+        action="store_true",
+        help="fail unless at least one valid probe timeline exists",
     )
     args = parser.parse_args(argv)
     manifests = sorted(args.runs_root.glob("**/manifest.json"))
@@ -74,22 +101,34 @@ def main(argv=None) -> int:
     if failed:
         return 1
     total_timelines = 0
+    total_probes = 0
     for manifest_path in manifests:
         try:
-            timelines = validate_run_dir(manifest_path.parent)
+            timelines, probes = validate_run_dir(manifest_path.parent)
         except ConfigError as exc:
             print(f"INVALID {manifest_path.parent}: {exc}", file=sys.stderr)
             return 1
         total_timelines += timelines
+        total_probes += probes
         manifest = RunManifest.load(manifest_path)
         print(
             f"ok {manifest_path.parent} "
-            f"(status={manifest.status}, {timelines} timelines)"
+            f"(status={manifest.status}, {timelines} timelines, "
+            f"{probes} probe files)"
         )
     if args.require_timeline and total_timelines == 0:
         print("no timelines found (REPRO_EPOCH unset?)", file=sys.stderr)
         return 1
-    print(f"validated {len(manifests)} runs, {total_timelines} timelines")
+    if args.require_probes and total_probes == 0:
+        print(
+            "no probe timelines found (no observer points ran?)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"validated {len(manifests)} runs, {total_timelines} timelines, "
+        f"{total_probes} probe files"
+    )
     return 0
 
 

@@ -80,8 +80,88 @@ _POINT_KEYS = frozenset(
         "queued_depth",
         "nic_tx_sweep",
         "seed",
+        "observer",
+        "burst",
     )
 )
+
+#: knobs an ``"observer"`` sub-object may carry (the ObserverConfig
+#: fields); named in the 400 so clients can discover the vocabulary.
+_OBSERVER_KEYS = frozenset(
+    ("sets", "ways", "period", "jitter", "probe_seed", "mi_bins")
+)
+
+#: knobs a ``"burst"`` sub-object may carry (the BurstProfile fields).
+_BURST_KEYS = frozenset(("low", "high", "window", "seed"))
+
+
+def _int_field(entry: Dict[str, Any], key: str, default: int) -> int:
+    value = entry.get(key, default)
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{key!r} must be an integer",
+    )
+    return value
+
+
+def _build_observer(entry: Any) -> Any:
+    """Validate an ``"observer"`` sub-object into an ObserverConfig."""
+    from repro.sidechannel import ObserverConfig
+
+    _require(isinstance(entry, dict), "'observer' must be an object")
+    unknown = sorted(set(entry) - _OBSERVER_KEYS)
+    _require(
+        not unknown,
+        "unknown observer knob(s): " + ", ".join(repr(k) for k in unknown)
+        + "; allowed: " + ", ".join(sorted(_OBSERVER_KEYS)),
+    )
+    ways = entry.get("ways")
+    if ways is not None:
+        _require(
+            isinstance(ways, list)
+            and all(
+                isinstance(w, int) and not isinstance(w, bool) for w in ways
+            ),
+            "observer 'ways' must be a list of integers",
+        )
+        ways = tuple(ways)
+    try:
+        return ObserverConfig(
+            sets=_int_field(entry, "sets", 16),
+            ways=ways,
+            period=_int_field(entry, "period", 8),
+            jitter=_int_field(entry, "jitter", 0),
+            probe_seed=_int_field(entry, "probe_seed", 7),
+            mi_bins=_int_field(entry, "mi_bins", 4),
+        )
+    except BadRequest:
+        raise
+    except ConfigError as exc:
+        raise BadRequest(f"invalid observer config: {exc}") from exc
+
+
+def _build_burst(entry: Any) -> Any:
+    """Validate a ``"burst"`` sub-object into a BurstProfile."""
+    from repro.nic.arrivals import BurstProfile
+
+    _require(isinstance(entry, dict), "'burst' must be an object")
+    unknown = sorted(set(entry) - _BURST_KEYS)
+    _require(
+        not unknown,
+        "unknown burst knob(s): " + ", ".join(repr(k) for k in unknown)
+        + "; allowed: " + ", ".join(sorted(_BURST_KEYS)),
+    )
+    try:
+        return BurstProfile(
+            low=_int_field(entry, "low", 1),
+            high=_int_field(entry, "high", 33),
+            window=_int_field(entry, "window", 24),
+            seed=_int_field(entry, "seed", 5),
+        )
+    except BadRequest:
+        raise
+    except ConfigError as exc:
+        raise BadRequest(f"invalid burst profile: {exc}") from exc
 
 
 def _build_point(entry: Dict[str, Any], default_scale: float) -> PointSpec:
@@ -128,6 +208,12 @@ def _build_point(entry: Dict[str, Any], default_scale: float) -> PointSpec:
     settings = ExperimentSettings(
         scale=scale, measure_multiplier=_number(entry, "measure", 1.0)
     )
+    observer = None
+    if entry.get("observer") is not None:
+        observer = _build_observer(entry["observer"])
+    burst = None
+    if entry.get("burst") is not None:
+        burst = _build_burst(entry["burst"])
     return point_spec(
         label,
         system,
@@ -138,6 +224,8 @@ def _build_point(entry: Dict[str, Any], default_scale: float) -> PointSpec:
         settings=settings,
         nic_tx_sweep=bool(entry.get("nic_tx_sweep", False)),
         seed=int(_number(entry, "seed", 42)),
+        observer=observer,
+        burst=burst,
     )
 
 

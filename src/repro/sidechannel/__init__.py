@@ -1,0 +1,36 @@
+"""Side-channel observability: a prime+probe attacker-observer tenant.
+
+Sweeper's premise is that DDIO leaves network data lingering in the LLC;
+*Packet Chasing* (PAPERS.md) shows that footprint is remotely observable
+through a prime+probe cache side channel. This package quantifies
+whether ``clsweep``'s invalidate-without-writeback actually shrinks the
+observable eviction signal:
+
+* :mod:`repro.sidechannel.observer` — a deterministic attacker tenant
+  that primes the DDIO-reachable ways of a monitored set region and
+  probes on a seeded schedule interleaved with victim traffic;
+* :mod:`repro.sidechannel.analysis` — leak-signal analysis: probe
+  hit-rate traces, per-set eviction counts, and a binned
+  mutual-information estimator between probe observations and
+  ground-truth packet arrivals.
+
+The ``figS1``/``figS2`` experiment families build on this; probe records
+persist through the :mod:`repro.obs.probes` JSONL channel.
+"""
+
+from repro.sidechannel.analysis import (
+    binned_mutual_information,
+    hit_rate_trace,
+    leak_summary,
+    per_set_eviction_counts,
+)
+from repro.sidechannel.observer import ObserverConfig, PrimeProbeObserver
+
+__all__ = [
+    "ObserverConfig",
+    "PrimeProbeObserver",
+    "binned_mutual_information",
+    "hit_rate_trace",
+    "leak_summary",
+    "per_set_eviction_counts",
+]

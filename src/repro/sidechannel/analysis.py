@@ -1,0 +1,117 @@
+"""Leak-signal analysis over probe records.
+
+Turns the observer's per-probe hit/miss records into the quantities the
+``figS*`` experiments report:
+
+* :func:`hit_rate_trace` — per-probe hit rate (how intact the primed
+  region stayed between probes);
+* :func:`per_set_eviction_counts` — which monitored sets leak (the
+  spatial signal Packet Chasing uses to follow ring positions);
+* :func:`binned_mutual_information` — I(misses; arrivals) in bits over
+  equal-width bins: how much the probe observations reveal about the
+  ground-truth packet-arrival process. DMA (no LLC injection) should
+  pin this near zero, DDIO should maximize it, and DDIO+Sweeper should
+  land measurably below DDIO because swept (invalid) slots absorb NIC
+  fills that would otherwise evict attacker lines;
+* :func:`leak_summary` — the JSON-ready digest stored on
+  ``TraceResult.leak`` and surfaced in result rows.
+
+Everything here is pure integer/float arithmetic over already-recorded
+data and iterates in sorted order, so two identical simulations
+serialize byte-identical summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def hit_rate_trace(records: Sequence[Dict[str, object]]) -> List[float]:
+    """Per-probe hit rate (1.0 = primed region fully intact)."""
+    out: List[float] = []
+    for record in records:
+        lines = int(record["hits"]) + int(record["misses"])
+        out.append(float(record["hits"]) / lines if lines else 0.0)
+    return out
+
+
+def per_set_eviction_counts(
+    records: Sequence[Dict[str, object]],
+) -> Dict[str, int]:
+    """Observed attacker-line evictions per monitored set (all probes)."""
+    totals: Dict[str, int] = {}
+    for record in records:
+        for key, count in record["set_misses"].items():  # type: ignore[union-attr]
+            totals[key] = totals.get(key, 0) + int(count)
+    return dict(sorted(totals.items(), key=lambda kv: int(kv[0])))
+
+
+def _bin_index(value: int, lo: int, hi: int, bins: int) -> int:
+    """Equal-width integer binning of ``value`` in [lo, hi] to [0, bins)."""
+    if hi == lo:
+        return 0
+    return min(bins - 1, (value - lo) * bins // (hi - lo + 1))
+
+
+def binned_mutual_information(
+    xs: Sequence[int], ys: Sequence[int], bins: int
+) -> float:
+    """I(X; Y) in bits over equal-width binned integer samples.
+
+    The plug-in estimator over a ``bins`` x ``bins`` contingency table.
+    Deterministic: bin edges derive only from each variable's observed
+    range and the accumulation iterates the table in sorted order.
+    """
+    n = len(xs)
+    if n == 0 or len(ys) != n:
+        return 0.0
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_lo == x_hi or y_lo == y_hi:
+        return 0.0  # a constant variable carries no information
+    joint: Dict[Tuple[int, int], int] = {}
+    px: Dict[int, int] = {}
+    py: Dict[int, int] = {}
+    for x, y in zip(xs, ys):
+        bx = _bin_index(x, x_lo, x_hi, bins)
+        by = _bin_index(y, y_lo, y_hi, bins)
+        joint[(bx, by)] = joint.get((bx, by), 0) + 1
+        px[bx] = px.get(bx, 0) + 1
+        py[by] = py.get(by, 0) + 1
+    mi = 0.0
+    for (bx, by), count in sorted(joint.items()):
+        mi += (count / n) * math.log2(count * n / (px[bx] * py[by]))
+    return max(0.0, mi)
+
+
+def leak_summary(
+    records: Sequence[Dict[str, object]],
+    cfg,
+    monitored_sets: int,
+    probe_ways: Sequence[int],
+    engine: str,
+) -> Dict[str, object]:
+    """JSON-ready leak digest for one simulated point."""
+    misses = [int(r["misses"]) for r in records]
+    arrivals = [int(r["arrivals"]) for r in records]
+    total_hits = sum(int(r["hits"]) for r in records)
+    total_misses = sum(misses)
+    lines = total_hits + total_misses
+    trace = hit_rate_trace(records)
+    return {
+        "schema": 1,
+        "probes": len(records),
+        "monitored_sets": monitored_sets,
+        "probe_ways": list(probe_ways),
+        "period": cfg.period,
+        "probe_seed": cfg.probe_seed,
+        "hits": total_hits,
+        "misses": total_misses,
+        "hit_rate": (total_hits / lines) if lines else 0.0,
+        "min_hit_rate": min(trace) if trace else 0.0,
+        "arrivals": sum(arrivals),
+        "mi_bits": binned_mutual_information(misses, arrivals, cfg.mi_bins),
+        "mi_bins": cfg.mi_bins,
+        "engine": engine,
+    }
