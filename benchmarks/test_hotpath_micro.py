@@ -201,6 +201,85 @@ def test_batch_engine_speedup(results_dir):
         assert speedup > 2.0
 
 
+def test_policy_zoo_bench(results_dir):
+    """Per-policy timings of the zoo's headline point -> BENCH_pr8.json.
+
+    One reference point (the deep-backlog end of the policy-zoo
+    scenario: D=16 on the MICA-style workload) simulated under every
+    injection policy, cache bypassed so every wall time is a real
+    simulation. The committed JSON is the scenario subsystem's perf
+    receipt: the zoo policies must not make the hot path meaningfully
+    slower than plain DDIO, and their traffic must differ from it.
+    """
+    from repro.scenario.points import POLICY_SPECS, build_point
+
+    settings = ExperimentSettings(scale=0.1, measure_multiplier=1.0)
+
+    def bench(policy):
+        spec = build_point(
+            {
+                "label": f"zoo bench {policy}",
+                "buffers": 1024,
+                "ways": 2,
+                "packet_bytes": 1024,
+                "policy": policy,
+                "queued_depth": 16,
+            },
+            default_scale=settings.scale,
+        )
+        prev = os.environ.get("REPRO_NO_CACHE")
+        os.environ["REPRO_NO_CACHE"] = "1"
+        try:
+            return run_spec(spec)
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_NO_CACHE", None)
+            else:
+                os.environ["REPRO_NO_CACHE"] = prev
+
+    points = {policy: bench(policy) for policy in POLICY_SPECS}
+    ddio = points["ddio"]
+    payload = {
+        "benchmark": "hotpath_micro/policy_zoo",
+        "point": "kvs 1024B, 1024 buffers, 2 ways, D=16 @ scale 0.1",
+        "policies": {
+            policy: {
+                "sim_seconds": round(p.sim_seconds, 4),
+                "mem_accesses_per_request": round(
+                    p.trace.mem_accesses_per_request(), 4
+                ),
+                "vs_ddio_seconds": round(
+                    p.sim_seconds / ddio.sim_seconds, 2
+                ),
+            }
+            for policy, p in points.items()
+        },
+    }
+    (results_dir / "BENCH_pr8.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = ["policy zoo: headline point per policy (D=16, no cache)"]
+    for policy, p in points.items():
+        lines.append(
+            f"  {policy:28s} {p.sim_seconds:>10.3f}s "
+            f"{p.trace.mem_accesses_per_request():>8.2f} mem/req"
+        )
+    emit(results_dir, "hotpath_policy_zoo", "\n".join(lines))
+
+    # The zoo members must actually change behaviour vs plain DDIO...
+    for policy in ("occamy", "rdca"):
+        assert (
+            points[policy].trace.mem_accesses_per_request()
+            != ddio.trace.mem_accesses_per_request()
+        ), policy
+        # ...without catastrophically slowing the hot path (their
+        # bookkeeping is O(1) per buffer by design).
+        assert points[policy].sim_seconds < 5.0 * max(
+            ddio.sim_seconds, 0.1
+        ), policy
+
+
 def test_observer_overhead(results_dir):
     """Observer-off vs observer-on wall time -> BENCH_pr7.json.
 

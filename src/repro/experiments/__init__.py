@@ -26,6 +26,7 @@ from repro.experiments import (
     figS2,
     headline,
     table1,
+    zoo,
 )
 
 #: experiment id -> callable(scale: float) -> FigureResult
@@ -42,6 +43,7 @@ REGISTRY = {
     "figS1": figS1.run,
     "figS2": figS2.run,
     "headline": headline.run,
+    "zoo": zoo.run,
 }
 
 #: experiment id -> callable(settings) -> List[PointSpec]. The servable
@@ -60,6 +62,7 @@ SPEC_BUILDERS = {
     "figS1": figS1.specs,
     "figS2": figS2.specs,
     "headline": headline.specs,
+    "zoo": zoo.specs,
 }
 
 #: experiment id -> why `repro.serve` refuses it by design (HTTP 400

@@ -336,8 +336,11 @@ def kvs_system(
 
 def policy_label(policy: str, ways: int, sweeper: bool) -> str:
     if policy == "dma":
-        return "DMA"
+        return "DMA + Sweeper" if sweeper else "DMA"
     if policy == "ideal":
-        return "Ideal DDIO"
-    name = f"DDIO {ways} Ways"
+        return "Ideal DDIO + Sweeper" if sweeper else "Ideal DDIO"
+    stem = {"ddio": "DDIO", "occamy": "Occamy", "rdca": "RDCA"}.get(policy)
+    if stem is None:
+        raise ConfigError(f"no label for policy {policy!r}")
+    name = f"{stem} {ways} Ways"
     return f"{name} + Sweeper" if sweeper else name

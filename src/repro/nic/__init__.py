@@ -15,9 +15,13 @@ from repro.nic.dynamic import (
     DynamicTraceHook,
     DynamicWaysConfig,
 )
+from repro.nic.zoo import OccamyPolicy, RdcaPolicy, describe_policies
 
 __all__ = [
     "BacklogController",
+    "OccamyPolicy",
+    "RdcaPolicy",
+    "describe_policies",
     "CompletionQueueEntry",
     "DdioPolicy",
     "DynamicDdioController",

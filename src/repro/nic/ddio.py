@@ -161,8 +161,9 @@ class IdealDdioPolicy(InjectionPolicy):
 def make_policy(spec: str, ddio_ways: int = 2) -> InjectionPolicy:
     """Build a policy from a short spec string.
 
-    Accepted specs: ``"dma"``, ``"ddio"`` (uses ``ddio_ways``), and
-    ``"ideal"``.
+    Accepted specs: ``"dma"``, ``"ddio"`` (uses ``ddio_ways``),
+    ``"ideal"``, and the :mod:`repro.nic.zoo` policies (``"occamy"``,
+    ``"rdca"`` — both also parameterized by ``ddio_ways``).
     """
     spec = spec.lower()
     if spec == "dma":
@@ -171,4 +172,11 @@ def make_policy(spec: str, ddio_ways: int = 2) -> InjectionPolicy:
         return DdioPolicy(ddio_ways)
     if spec == "ideal":
         return IdealDdioPolicy()
-    raise ConfigError(f"unknown injection policy spec: {spec!r}")
+    from repro.nic import zoo  # deferred: zoo subclasses DdioPolicy
+
+    if spec in zoo.POLICIES and zoo.POLICIES[spec][0] is not None:
+        return zoo.zoo_policy(spec, ddio_ways)
+    raise ConfigError(
+        f"unknown injection policy spec: {spec!r}; known: "
+        + ", ".join(sorted(zoo.POLICIES))
+    )

@@ -147,6 +147,16 @@ def list_runs(root: Path) -> str:
         retried = sum(1 for p in manifest.points if p.attempts > 1)
         remote = sum(1 for p in manifest.points if p.worker_id)
         extras = []
+        # Scenario-born runs (local "scenario:<name>" or served
+        # "serve-scenario:<name>" run labels) get their scenario name
+        # and policy mix called out, so the DSL's runs are findable.
+        label = manifest.run_label or ""
+        if "scenario:" in label:
+            scenario = label.split("scenario:", 1)[1]
+            extras.append(f"scenario={scenario}")
+            policies = sorted({p.policy for p in manifest.points})
+            if policies:
+                extras.append("policies=" + "/".join(policies))
         if manifest.engine != "object":
             extras.append(f"engine={manifest.engine}")
         if retried:

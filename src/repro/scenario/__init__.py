@@ -1,0 +1,36 @@
+"""Declarative scenario DSL: TOML/JSON documents -> PointSpec grids.
+
+The subsystem in three layers:
+
+* :mod:`repro.scenario.points` — the flat point vocabulary and its
+  validator (shared with the serve API's explicit-points jobs);
+* :mod:`repro.scenario.doc` — document loading and structural
+  validation (``schema_version``, named blocks, sweep tables), every
+  error naming its exact key path;
+* :mod:`repro.scenario.compile` — sweep expansion + reference
+  resolution into a :class:`CompiledScenario` of cacheable specs.
+
+Entry points: ``python -m repro.scenario compile|run|list-policies``,
+the ``zoo`` experiment registry entry, and ``POST /jobs`` with a
+``{"scenario": {...}}`` body (see DESIGN.md §13).
+"""
+
+from repro.scenario.compile import CompiledScenario, compile_scenario
+from repro.scenario.doc import SCHEMA_VERSION, Scenario, load_scenario, scenario_from_dict
+from repro.scenario.points import (
+    POLICY_SPECS,
+    ScenarioError,
+    build_point,
+)
+
+__all__ = [
+    "CompiledScenario",
+    "POLICY_SPECS",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioError",
+    "build_point",
+    "compile_scenario",
+    "load_scenario",
+    "scenario_from_dict",
+]

@@ -1,0 +1,163 @@
+"""CLI for the scenario DSL::
+
+    python -m repro.scenario compile examples/scenarios/policy_zoo.toml
+    python -m repro.scenario run examples/scenarios/policy_zoo.toml --json
+    python -m repro.scenario list-policies
+
+``compile`` prints the expanded grid (label, policy, point-cache
+fingerprint) without simulating anything — the cheap way to check what
+a document means. ``run`` compiles and executes the grid through
+``run_points`` (cache, manifests, REPRO_* knobs all apply) and renders
+the shared result schema. ``list-policies`` prints the injection-policy
+vocabulary, zoo included.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.scenario import SCHEMA_VERSION, compile_scenario, load_scenario
+
+
+def _settings(args) -> Optional[object]:
+    """Fidelity overrides, mirroring the serve API's top-level knobs."""
+    if args.scale is None and args.measure is None:
+        return None
+    from repro.experiments.common import DEFAULT_SCALE, ExperimentSettings
+
+    return ExperimentSettings(
+        scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+        measure_multiplier=args.measure if args.measure is not None else 1.0,
+    )
+
+
+def _compile(path: str, as_json: bool, settings=None) -> int:
+    from repro.engine import pointcache
+
+    compiled = compile_scenario(load_scenario(path), settings=settings)
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "name": compiled.name,
+                    "scale": compiled.scale,
+                    "run_label": compiled.run_label,
+                    "points": [
+                        {
+                            "label": s.label,
+                            "policy": s.policy,
+                            "sweeper": s.sweeper,
+                            "queued_depth": s.queued_depth,
+                            "seed": s.seed,
+                            "measure_requests": s.measure_requests,
+                            "fingerprint": pointcache.fingerprint(s),
+                        }
+                        for s in compiled.specs
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"scenario {compiled.name!r}: {len(compiled.specs)} points "
+        f"at scale {compiled.scale} (run_label {compiled.run_label!r})"
+    )
+    for s in compiled.specs:
+        extras = []
+        if s.sweeper:
+            extras.append("sweeper")
+        if s.burst is not None:
+            extras.append("burst")
+        if s.observer is not None:
+            extras.append("observer")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        print(
+            f"  {s.label:44s} policy={s.policy:7s} "
+            f"fp={pointcache.fingerprint(s)[:12]}{suffix}"
+        )
+    return 0
+
+
+def _run(path: str, as_json: bool, settings=None) -> int:
+    from repro.engine.parallel import run_points
+    from repro.experiments.common import FigureResult
+
+    compiled = compile_scenario(load_scenario(path), settings=settings)
+    result = FigureResult(
+        figure=compiled.run_label,
+        title=f"scenario {compiled.name} ({len(compiled.specs)} points)",
+        scale=compiled.scale,
+    )
+    result.points.extend(
+        run_points(compiled.specs, run_label=compiled.run_label)
+    )
+    if as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return 0
+
+
+def _list_policies() -> int:
+    from repro.nic.zoo import describe_policies
+
+    print("injection policies (the 'policy' vocabulary of points):")
+    for line in describe_policies():
+        print(f"  {line}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenario",
+        description="Compile and run declarative scenario documents.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, doc in (
+        ("compile", "expand a scenario into its point grid (no simulation)"),
+        ("run", "compile and simulate a scenario"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.add_argument("scenario", help="path to a .toml or .json scenario")
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit machine-readable JSON (the shared result schema "
+            "for 'run')",
+        )
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=None,
+            help="override the document's default scale (per-point "
+            "explicit values still win)",
+        )
+        p.add_argument(
+            "--measure",
+            type=float,
+            default=None,
+            help="override the document's default measure multiplier",
+        )
+    sub.add_parser(
+        "list-policies", help="print the injection-policy vocabulary"
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "compile":
+            return _compile(args.scenario, args.json, _settings(args))
+        if args.command == "run":
+            return _run(args.scenario, args.json, _settings(args))
+        return _list_policies()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

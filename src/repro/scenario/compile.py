@@ -1,0 +1,194 @@
+"""Compile a validated scenario into a PointSpec list.
+
+Each ``[[points]]`` template is multiplied out over the cartesian
+product of its sweep axes (axis order = declaration order, value order
+as written, so compilation is deterministic), named block references
+are resolved, and every resolved flat dict goes through
+:func:`repro.scenario.points.build_point` — the same validator the
+serve API uses for explicit points. The compiled specs are therefore
+indistinguishable from hand-built figure specs: they carry the policy
+string, participate in the point-cache fingerprint, and run through
+``run_points`` / serve / cluster with the usual bit-identical
+determinism guarantees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engine.parallel import PointSpec
+from repro.scenario.doc import Scenario
+from repro.scenario.points import POLICY_SPECS, build_point, fail, require
+
+
+@dataclass
+class CompiledScenario:
+    """A scenario ready to run: specs plus result-rendering context."""
+
+    name: str
+    scale: float
+    measure: float
+    specs: List[PointSpec] = field(default_factory=list)
+
+    @property
+    def run_label(self) -> str:
+        """Manifest run_label; ``timeline --list`` keys off the prefix."""
+        return f"scenario:{self.name}"
+
+
+def _resolve_workload(
+    scenario: Scenario, entry: Dict[str, Any], path: str
+) -> None:
+    name = entry.get("workload")
+    if name is None or name in ("kvs", "l3fwd"):
+        return
+    block = scenario.workloads.get(name)
+    require(
+        block is not None,
+        f"{path}.workload",
+        f"unknown workload {name!r}; named blocks: "
+        + (", ".join(sorted(scenario.workloads)) or "(none)")
+        + "; or use 'kvs'/'l3fwd' directly",
+    )
+    entry["workload"] = block["kind"]
+    if "packet_bytes" in block and "packet_bytes" not in entry:
+        entry["packet_bytes"] = block["packet_bytes"]
+
+
+def _resolve_policy(
+    scenario: Scenario, entry: Dict[str, Any], path: str
+) -> None:
+    name = entry.get("policy")
+    if name is None or name in POLICY_SPECS:
+        return
+    block = scenario.policies.get(name)
+    require(
+        block is not None,
+        f"{path}.policy",
+        f"unknown policy {name!r}; named blocks: "
+        + (", ".join(sorted(scenario.policies)) or "(none)")
+        + "; or one of " + "/".join(POLICY_SPECS),
+    )
+    entry["policy"] = block["policy"]
+    for key in ("ways", "sweeper", "nic_tx_sweep"):
+        if key in block and key not in entry:
+            entry[key] = block[key]
+
+
+def _resolve_arrival(
+    scenario: Scenario, entry: Dict[str, Any], path: str
+) -> None:
+    name = entry.pop("arrival", None)
+    if name is None:
+        return
+    require(
+        "burst" not in entry,
+        f"{path}.arrival",
+        "point sets both 'arrival' and an inline 'burst'; pick one",
+    )
+    block = scenario.arrivals.get(name)
+    require(
+        block is not None,
+        f"{path}.arrival",
+        f"unknown arrival {name!r}; named blocks: "
+        + (", ".join(sorted(scenario.arrivals)) or "(none)"),
+    )
+    entry["burst"] = dict(block)
+
+
+def _resolve_observer(
+    scenario: Scenario, entry: Dict[str, Any], path: str
+) -> None:
+    name = entry.get("observer")
+    if name is None or isinstance(name, dict):
+        return  # absent, or already an inline observer object
+    require(
+        isinstance(name, str),
+        f"{path}.observer",
+        "must be an observer block name or an inline object",
+    )
+    block = scenario.observers.get(name)
+    require(
+        block is not None,
+        f"{path}.observer",
+        f"unknown observer {name!r}; named blocks: "
+        + (", ".join(sorted(scenario.observers)) or "(none)"),
+    )
+    entry["observer"] = dict(block)
+
+
+def _format_axis(value: Any) -> str:
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    return str(value)
+
+
+def compile_scenario(
+    scenario: Scenario, settings: Optional[Any] = None
+) -> CompiledScenario:
+    """Expand sweeps, resolve references, and build every PointSpec.
+
+    ``settings`` (an :class:`~repro.experiments.common.ExperimentSettings`)
+    overrides the document's default ``scale``/``measure`` — this is how
+    the serve API's fidelity knobs and the ``SPEC_BUILDERS`` seam apply
+    to scenario-born grids. Per-point explicit ``scale``/``measure``
+    values in the document still win over both.
+    """
+    from repro.experiments.common import DEFAULT_SCALE
+
+    if settings is not None:
+        scale = settings.scale
+        measure = settings.measure_multiplier
+    else:
+        scale = scenario.scale if scenario.scale is not None else DEFAULT_SCALE
+        measure = scenario.measure
+
+    compiled = CompiledScenario(
+        name=scenario.name, scale=scale, measure=measure
+    )
+    labels_seen: Dict[str, str] = {}
+    for index, template in enumerate(scenario.templates):
+        path = f"points[{index}]"
+        sweep = template.get("sweep", {})
+        axes = list(sweep.items())  # declaration order; deterministic
+        combos = (
+            itertools.product(*(values for _, values in axes))
+            if axes
+            else [()]
+        )
+        for combo in combos:
+            entry = {k: v for k, v in template.items() if k != "sweep"}
+            entry.update(zip((axis for axis, _ in axes), combo))
+            base = entry.get("label") or f"point{index}"
+            if combo:
+                suffix = " ".join(
+                    f"{axis}={_format_axis(value)}"
+                    for (axis, _), value in zip(axes, combo)
+                )
+                entry["label"] = f"{base} {suffix}"
+            else:
+                entry["label"] = base
+            _resolve_workload(scenario, entry, path)
+            _resolve_policy(scenario, entry, path)
+            _resolve_arrival(scenario, entry, path)
+            _resolve_observer(scenario, entry, path)
+            spec = build_point(
+                entry,
+                default_scale=scale,
+                path=path,
+                default_measure=measure,
+                default_seed=scenario.seed,
+            )
+            clash = labels_seen.get(spec.label)
+            if clash is not None:
+                fail(
+                    path,
+                    f"duplicate point label {spec.label!r} (first produced "
+                    f"by {clash}); add a 'label' or another sweep axis to "
+                    "disambiguate",
+                )
+            labels_seen[spec.label] = path
+            compiled.specs.append(spec)
+    return compiled

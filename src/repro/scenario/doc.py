@@ -1,0 +1,325 @@
+"""Scenario documents: load TOML/JSON, check the schema, validate paths.
+
+A scenario is one declarative document describing a grid of simulation
+points. Its shape (``schema_version = 1``)::
+
+    schema_version = 1
+    name = "policy-zoo"          # becomes run_label "scenario:<name>"
+    scale = 0.1                  # optional defaults for every point
+    measure = 1.0
+    seed = 42
+
+    [workloads.mica]             # named blocks, referenced from points
+    kind = "kvs"
+    packet_bytes = 1024
+
+    [policies.swept]
+    policy = "ddio"
+    ways = 4
+    sweeper = true
+
+    [arrivals.diurnal]           # BurstProfile fields (repro.nic.arrivals)
+    low = 1
+    high = 33
+    window = 48
+    seed = 9
+
+    [observers.probe]            # ObserverConfig fields (repro.sidechannel)
+    sets = 16
+    period = 8
+
+    [[points]]                   # a template; sweep axes multiply it out
+    workload = "mica"
+    policy = "swept"
+    arrival = "diurnal"
+    buffers = 512
+    label = "mica diurnal"
+    [points.sweep]
+    ways = [2, 4, 6]
+    queued_depth = [1, 16]
+
+Validation is structural and total: every unknown key anywhere raises
+:class:`~repro.scenario.points.ScenarioError` naming the exact key path
+(``points[0].sweep.wayz``), which the serve layer renders as HTTP 400.
+Reference resolution and sweep expansion live in
+:mod:`repro.scenario.compile`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.scenario.points import (
+    BURST_KEYS,
+    OBSERVER_KEYS,
+    POINT_KEYS,
+    POLICY_SPECS,
+    ScenarioError,
+    build_burst,
+    build_observer,
+    check_keys,
+    fail,
+    require,
+)
+
+try:  # stdlib on Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - py3.10
+    try:  # same parser, backport package (CI installs it for 3.10)
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ImportError:  # TOML degrades to JSON below
+        tomllib = None  # type: ignore[assignment]
+
+#: the one schema this parser understands; bumped on breaking changes
+SCHEMA_VERSION = 1
+
+TOP_KEYS = frozenset(
+    (
+        "schema_version",
+        "name",
+        "scale",
+        "measure",
+        "seed",
+        "workloads",
+        "policies",
+        "arrivals",
+        "observers",
+        "points",
+    )
+)
+WORKLOAD_BLOCK_KEYS = frozenset(("kind", "packet_bytes"))
+POLICY_BLOCK_KEYS = frozenset(("policy", "ways", "sweeper", "nic_tx_sweep"))
+
+#: keys a [[points]] template may carry: the flat point vocabulary
+#: (minus the sub-objects that arrive via named blocks) plus the
+#: block references and the sweep table.
+TEMPLATE_KEYS = POINT_KEYS | frozenset(("arrival", "sweep"))
+
+#: axes a sweep table may multiply out: everything but label/sweep and
+#: the inline "burst" object (sweep arrivals/observers by block *name*).
+SWEEP_KEYS = TEMPLATE_KEYS - frozenset(("label", "sweep", "burst"))
+
+
+def _scalar(value: Any) -> bool:
+    return isinstance(value, (str, int, float, bool))
+
+
+@dataclass
+class Scenario:
+    """A structurally validated scenario document (refs not yet resolved)."""
+
+    name: str
+    scale: Optional[float] = None
+    measure: float = 1.0
+    seed: int = 42
+    workloads: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    policies: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    arrivals: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    observers: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    templates: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _named_section(
+    data: Dict[str, Any], section: str
+) -> Dict[str, Dict[str, Any]]:
+    blocks = data.get(section, {})
+    require(isinstance(blocks, dict), section, "must be a table of blocks")
+    for name, block in blocks.items():
+        require(
+            isinstance(block, dict), f"{section}.{name}", "must be a table"
+        )
+    return blocks
+
+
+def _validate_workload_block(name: str, block: Dict[str, Any]) -> None:
+    path = f"workloads.{name}"
+    check_keys(block, WORKLOAD_BLOCK_KEYS, path, "workload")
+    kind = block.get("kind")
+    require(
+        kind in ("kvs", "l3fwd"),
+        f"{path}.kind",
+        f"must be 'kvs' or 'l3fwd', got {kind!r}",
+    )
+    if "packet_bytes" in block:
+        require(
+            isinstance(block["packet_bytes"], int)
+            and not isinstance(block["packet_bytes"], bool)
+            and block["packet_bytes"] > 0,
+            f"{path}.packet_bytes",
+            "must be a positive integer",
+        )
+
+
+def _validate_policy_block(name: str, block: Dict[str, Any]) -> None:
+    path = f"policies.{name}"
+    check_keys(block, POLICY_BLOCK_KEYS, path, "policy")
+    policy = block.get("policy")
+    require(
+        policy in POLICY_SPECS,
+        f"{path}.policy",
+        "must be one of " + "/".join(POLICY_SPECS) + f", got {policy!r}",
+    )
+    if "ways" in block:
+        require(
+            isinstance(block["ways"], int)
+            and not isinstance(block["ways"], bool)
+            and block["ways"] > 0,
+            f"{path}.ways",
+            "must be a positive integer",
+        )
+    for key in ("sweeper", "nic_tx_sweep"):
+        if key in block:
+            require(
+                isinstance(block[key], bool),
+                f"{path}.{key}",
+                "must be a boolean",
+            )
+
+
+def _validate_template(index: int, template: Any) -> None:
+    path = f"points[{index}]"
+    require(isinstance(template, dict), path, "must be a table")
+    check_keys(template, TEMPLATE_KEYS, path, "point")
+    sweep = template.get("sweep", {})
+    require(isinstance(sweep, dict), f"{path}.sweep", "must be a table")
+    for axis, values in sweep.items():
+        axis_path = f"{path}.sweep.{axis}"
+        require(
+            axis in SWEEP_KEYS,
+            axis_path,
+            "unknown sweep axis; allowed: " + ", ".join(sorted(SWEEP_KEYS)),
+        )
+        require(
+            axis not in template,
+            axis_path,
+            "axis is also set directly on the point; pick one",
+        )
+        require(
+            isinstance(values, list) and values,
+            axis_path,
+            "must be a non-empty list",
+        )
+        for j, value in enumerate(values):
+            require(
+                _scalar(value),
+                f"{axis_path}[{j}]",
+                "sweep values must be scalars (block names or numbers)",
+            )
+
+
+def scenario_from_dict(data: Any) -> Scenario:
+    """Validate a raw document (parsed TOML/JSON or a request body)."""
+    require(isinstance(data, dict), "scenario", "must be a table/object")
+    check_keys(data, TOP_KEYS, "scenario", "scenario")
+
+    version = data.get("schema_version")
+    require(
+        isinstance(version, int) and not isinstance(version, bool),
+        "scenario.schema_version",
+        "is required and must be an integer",
+    )
+    require(
+        version == SCHEMA_VERSION,
+        "scenario.schema_version",
+        f"unsupported version {version} (this build speaks {SCHEMA_VERSION})",
+    )
+    name = data.get("name")
+    require(
+        isinstance(name, str) and name.strip(),
+        "scenario.name",
+        "is required and must be a non-empty string",
+    )
+
+    scale: Optional[float] = None
+    if "scale" in data:
+        require(
+            isinstance(data["scale"], (int, float))
+            and not isinstance(data["scale"], bool)
+            and 0 < data["scale"] <= 1,
+            "scenario.scale",
+            "must be a number in (0, 1]",
+        )
+        scale = float(data["scale"])
+    measure = data.get("measure", 1.0)
+    require(
+        isinstance(measure, (int, float))
+        and not isinstance(measure, bool)
+        and measure > 0,
+        "scenario.measure",
+        "must be a number > 0",
+    )
+    seed = data.get("seed", 42)
+    require(
+        isinstance(seed, int) and not isinstance(seed, bool),
+        "scenario.seed",
+        "must be an integer",
+    )
+
+    workloads = _named_section(data, "workloads")
+    for block_name, block in workloads.items():
+        _validate_workload_block(block_name, block)
+    policies = _named_section(data, "policies")
+    for block_name, block in policies.items():
+        _validate_policy_block(block_name, block)
+    arrivals = _named_section(data, "arrivals")
+    for block_name, block in arrivals.items():
+        build_burst(block, path=f"arrivals.{block_name}")
+    observers = _named_section(data, "observers")
+    for block_name, block in observers.items():
+        build_observer(block, path=f"observers.{block_name}")
+
+    templates = data.get("points")
+    require(
+        isinstance(templates, list) and templates,
+        "scenario.points",
+        "is required and must be a non-empty list of point tables",
+    )
+    for index, template in enumerate(templates):
+        _validate_template(index, template)
+
+    return Scenario(
+        name=name.strip(),
+        scale=scale,
+        measure=float(measure),
+        seed=seed,
+        workloads=workloads,
+        policies=policies,
+        arrivals=arrivals,
+        observers=observers,
+        templates=templates,
+    )
+
+
+def load_scenario(path) -> Scenario:
+    """Load + validate a scenario file; format chosen by suffix.
+
+    ``.toml`` needs the stdlib ``tomllib`` (Python >= 3.11); ``.json``
+    works everywhere. Anything else is an error, not a guess.
+    """
+    path = Path(path)
+    try:
+        raw_bytes = path.read_bytes()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario {path}: {exc}") from exc
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        if tomllib is None:
+            raise ScenarioError(
+                f"{path}: TOML scenarios need Python >= 3.11 (tomllib); "
+                "convert to JSON for older interpreters"
+            )
+        try:
+            data = tomllib.loads(raw_bytes.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise ScenarioError(f"{path}: invalid TOML: {exc}") from exc
+    elif suffix == ".json":
+        try:
+            data = json.loads(raw_bytes.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ScenarioError(f"{path}: invalid JSON: {exc}") from exc
+    else:
+        fail(str(path), "scenario files must end in .toml or .json")
+    return scenario_from_dict(data)

@@ -1,0 +1,246 @@
+"""The point vocabulary: one flat dict describes one simulation point.
+
+This is the single validator that turns a client-provided point
+description (the keys of :data:`POINT_KEYS`, in the vocabulary of
+:func:`repro.experiments.common.point_spec`) into a
+:class:`~repro.engine.parallel.PointSpec`. Both front ends share it:
+
+* the serve API's explicit-points jobs (``POST /jobs`` with
+  ``{"points": [...]}``) — :mod:`repro.serve.jobs` wraps
+  :class:`ScenarioError` into its HTTP 400;
+* compiled scenario documents (:mod:`repro.scenario.compile`), where
+  each sweep-expanded template resolves to exactly such a dict.
+
+Every error message is prefixed with the document path of the offending
+key (``points[2].observer``), so a 400 from a deeply nested scenario
+names precisely what to fix. Unknown keys are always rejected — a typo
+like ``"swepper"`` must not silently serve non-Sweeper results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.engine.parallel import PointSpec
+from repro.errors import ConfigError
+
+
+class ScenarioError(ConfigError):
+    """Invalid point/scenario document; names the bad key path."""
+
+
+#: every key a point object may carry
+POINT_KEYS = frozenset(
+    (
+        "workload",
+        "scale",
+        "buffers",
+        "ways",
+        "packet_bytes",
+        "policy",
+        "label",
+        "measure",
+        "sweeper",
+        "queued_depth",
+        "nic_tx_sweep",
+        "seed",
+        "observer",
+        "burst",
+    )
+)
+
+#: knobs an ``"observer"`` sub-object may carry (the ObserverConfig
+#: fields); named in the error so clients can discover the vocabulary.
+OBSERVER_KEYS = frozenset(
+    ("sets", "ways", "period", "jitter", "probe_seed", "mi_bins")
+)
+
+#: knobs a ``"burst"`` sub-object may carry (the BurstProfile fields).
+BURST_KEYS = frozenset(("low", "high", "window", "seed"))
+
+#: every accepted ``"policy"`` spec string (paper baselines + the
+#: repro.nic.zoo policies); kept literal so the error message and the
+#: docs never drift from what ``make_policy`` accepts.
+POLICY_SPECS = ("dma", "ddio", "ideal", "occamy", "rdca")
+
+
+def fail(path: str, message: str) -> None:
+    raise ScenarioError(f"{path}: {message}" if path else message)
+
+
+def require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        fail(path, message)
+
+
+def _number(
+    entry: Dict[str, Any], key: str, default: float, path: str
+) -> float:
+    value = entry.get(key, default)
+    require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{path}.{key}" if path else key,
+        "must be a number",
+    )
+    return float(value)
+
+
+def _int_field(entry: Dict[str, Any], key: str, default: int, path: str) -> int:
+    value = entry.get(key, default)
+    require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{path}.{key}" if path else key,
+        "must be an integer",
+    )
+    return value
+
+
+def _bool_field(
+    entry: Dict[str, Any], key: str, default: bool, path: str
+) -> bool:
+    value = entry.get(key, default)
+    require(
+        isinstance(value, bool),
+        f"{path}.{key}" if path else key,
+        "must be a boolean",
+    )
+    return value
+
+
+def check_keys(
+    entry: Dict[str, Any], allowed: frozenset, path: str, what: str
+) -> None:
+    """Reject unknown keys, naming both the typo(s) and the vocabulary."""
+    unknown = sorted(set(entry) - allowed)
+    require(
+        not unknown,
+        path,
+        f"unknown {what} key(s): "
+        + ", ".join(repr(k) for k in unknown)
+        + "; allowed: "
+        + ", ".join(sorted(allowed)),
+    )
+
+
+def build_observer(entry: Any, path: str = "observer") -> Any:
+    """Validate an ``"observer"`` sub-object into an ObserverConfig."""
+    from repro.sidechannel import ObserverConfig
+
+    require(isinstance(entry, dict), path, "must be an object")
+    check_keys(entry, OBSERVER_KEYS, path, "observer")
+    ways = entry.get("ways")
+    if ways is not None:
+        require(
+            isinstance(ways, list)
+            and all(
+                isinstance(w, int) and not isinstance(w, bool) for w in ways
+            ),
+            f"{path}.ways",
+            "must be a list of integers",
+        )
+        ways = tuple(ways)
+    try:
+        return ObserverConfig(
+            sets=_int_field(entry, "sets", 16, path),
+            ways=ways,
+            period=_int_field(entry, "period", 8, path),
+            jitter=_int_field(entry, "jitter", 0, path),
+            probe_seed=_int_field(entry, "probe_seed", 7, path),
+            mi_bins=_int_field(entry, "mi_bins", 4, path),
+        )
+    except ScenarioError:
+        raise
+    except ConfigError as exc:
+        raise ScenarioError(f"{path}: invalid observer config: {exc}") from exc
+
+
+def build_burst(entry: Any, path: str = "burst") -> Any:
+    """Validate a ``"burst"`` sub-object into a BurstProfile."""
+    from repro.nic.arrivals import BurstProfile
+
+    require(isinstance(entry, dict), path, "must be an object")
+    check_keys(entry, BURST_KEYS, path, "burst")
+    try:
+        return BurstProfile(
+            low=_int_field(entry, "low", 1, path),
+            high=_int_field(entry, "high", 33, path),
+            window=_int_field(entry, "window", 24, path),
+            seed=_int_field(entry, "seed", 5, path),
+        )
+    except ScenarioError:
+        raise
+    except ConfigError as exc:
+        raise ScenarioError(f"{path}: invalid burst profile: {exc}") from exc
+
+
+def build_point(
+    entry: Dict[str, Any],
+    default_scale: float,
+    path: str = "point",
+    default_measure: float = 1.0,
+    default_seed: int = 42,
+) -> PointSpec:
+    """One point description -> a picklable, cacheable PointSpec.
+
+    The compiled spec carries everything that identifies the simulation
+    (the policy string included), so it participates in the point-cache
+    fingerprint exactly like a hand-built figure spec.
+    """
+    from repro.experiments.common import (
+        ExperimentSettings,
+        kvs_system,
+        kvs_workload,
+        l3fwd_workload,
+        point_spec,
+    )
+
+    require(isinstance(entry, dict), path, "each point must be an object")
+    check_keys(entry, POINT_KEYS, path, "point")
+    workload_kind = entry.get("workload", "kvs")
+    require(
+        workload_kind in ("kvs", "l3fwd"),
+        f"{path}.workload",
+        f"must be 'kvs' or 'l3fwd', got {workload_kind!r}",
+    )
+    scale = _number(entry, "scale", default_scale, path)
+    require(0 < scale <= 1, f"{path}.scale", "must be in (0, 1]")
+    buffers = int(_number(entry, "buffers", 512, path))
+    ways = int(_number(entry, "ways", 2, path))
+    packet_bytes = int(_number(entry, "packet_bytes", 1024, path))
+    policy = entry.get("policy", "ddio")
+    require(
+        policy in POLICY_SPECS,
+        f"{path}.policy",
+        "must be one of " + "/".join(POLICY_SPECS) + f", got {policy!r}",
+    )
+    label = entry.get("label") or (
+        f"{workload_kind}/{packet_bytes}B/{buffers} bufs/{policy}{ways}"
+    )
+    require(isinstance(label, str), f"{path}.label", "must be a string")
+    measure = _number(entry, "measure", default_measure, path)
+    require(measure > 0, f"{path}.measure", "must be > 0")
+    system = kvs_system(scale, buffers, ways, packet_bytes)
+    if workload_kind == "kvs":
+        workload = kvs_workload(scale, packet_bytes)
+    else:
+        workload = l3fwd_workload(packet_bytes)
+    settings = ExperimentSettings(scale=scale, measure_multiplier=measure)
+    observer = None
+    if entry.get("observer") is not None:
+        observer = build_observer(entry["observer"], path=f"{path}.observer")
+    burst = None
+    if entry.get("burst") is not None:
+        burst = build_burst(entry["burst"], path=f"{path}.burst")
+    return point_spec(
+        label,
+        system,
+        workload,
+        policy,
+        sweeper=_bool_field(entry, "sweeper", False, path),
+        queued_depth=int(_number(entry, "queued_depth", 1, path)),
+        settings=settings,
+        nic_tx_sweep=_bool_field(entry, "nic_tx_sweep", False, path),
+        seed=int(_number(entry, "seed", default_seed, path)),
+        observer=observer,
+        burst=burst,
+    )

@@ -157,6 +157,26 @@ class ServeClient:
             payload["scale"] = scale
         return self.submit(payload)
 
+    def submit_scenario(
+        self,
+        document: Dict[str, Any],
+        scale: Optional[float] = None,
+        measure: Optional[float] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit a declarative scenario document (repro.scenario DSL).
+
+        ``document`` is the parsed TOML/JSON scenario; the daemon
+        compiles it server-side, so the submitted grid is exactly what
+        ``python -m repro.scenario run`` would simulate locally.
+        """
+        payload: Dict[str, Any] = {"scenario": document, "priority": priority}
+        if scale is not None:
+            payload["scale"] = scale
+        if measure is not None:
+            payload["measure"] = measure
+        return self.submit(payload)
+
     def jobs(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/jobs")["jobs"]
 

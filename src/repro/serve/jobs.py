@@ -1,11 +1,14 @@
 """Job model for the ``repro.serve`` daemon.
 
-A *job* is one client-submitted unit of work: either a named experiment
-grid (``{"experiment": "fig1", "scale": 0.05}`` — built through the
-same spec builders the figure harnesses use, so a served job simulates
-exactly what a local run would) or an explicit list of point
+A *job* is one client-submitted unit of work: a named experiment grid
+(``{"experiment": "fig1", "scale": 0.05}`` — built through the same
+spec builders the figure harnesses use, so a served job simulates
+exactly what a local run would), an explicit list of point
 descriptions (``{"points": [{...}, ...]}`` in the vocabulary of
-:func:`repro.experiments.common.point_spec`).
+:mod:`repro.scenario.points`), or a declarative scenario document
+(``{"scenario": {...}}``, compiled by :mod:`repro.scenario` — sweeps
+expanded and references resolved server-side, so a submitted document
+runs the exact grid ``python -m repro.scenario run`` would).
 
 Jobs move through ``queued -> running -> done`` (or ``failed`` /
 ``cancelled``). Every state change and per-point completion is recorded
@@ -64,176 +67,30 @@ def _number(payload: Dict[str, Any], key: str, default: float) -> float:
     return float(value)
 
 
-#: every key an explicit point object may carry; anything else is a 400
-#: (a typo like "swepper" must not silently serve non-Sweeper results).
-_POINT_KEYS = frozenset(
-    (
-        "workload",
-        "scale",
-        "buffers",
-        "ways",
-        "packet_bytes",
-        "policy",
-        "label",
-        "measure",
-        "sweeper",
-        "queued_depth",
-        "nic_tx_sweep",
-        "seed",
-        "observer",
-        "burst",
-    )
-)
+def _build_point(
+    entry: Dict[str, Any], default_scale: float, index: int
+) -> PointSpec:
+    """One explicit point, validated by the shared scenario vocabulary.
 
-#: knobs an ``"observer"`` sub-object may carry (the ObserverConfig
-#: fields); named in the 400 so clients can discover the vocabulary.
-_OBSERVER_KEYS = frozenset(
-    ("sets", "ways", "period", "jitter", "probe_seed", "mi_bins")
-)
+    :mod:`repro.scenario.points` owns the key set and all error
+    messages (each naming its exact key path, ``points[2].policy``);
+    this wrapper only rebrands the failure as an HTTP 400.
+    """
+    from repro.scenario.points import ScenarioError, build_point
 
-#: knobs a ``"burst"`` sub-object may carry (the BurstProfile fields).
-_BURST_KEYS = frozenset(("low", "high", "window", "seed"))
-
-
-def _int_field(entry: Dict[str, Any], key: str, default: int) -> int:
-    value = entry.get(key, default)
-    _require(
-        isinstance(value, int) and not isinstance(value, bool),
-        f"{key!r} must be an integer",
-    )
-    return value
-
-
-def _build_observer(entry: Any) -> Any:
-    """Validate an ``"observer"`` sub-object into an ObserverConfig."""
-    from repro.sidechannel import ObserverConfig
-
-    _require(isinstance(entry, dict), "'observer' must be an object")
-    unknown = sorted(set(entry) - _OBSERVER_KEYS)
-    _require(
-        not unknown,
-        "unknown observer knob(s): " + ", ".join(repr(k) for k in unknown)
-        + "; allowed: " + ", ".join(sorted(_OBSERVER_KEYS)),
-    )
-    ways = entry.get("ways")
-    if ways is not None:
-        _require(
-            isinstance(ways, list)
-            and all(
-                isinstance(w, int) and not isinstance(w, bool) for w in ways
-            ),
-            "observer 'ways' must be a list of integers",
-        )
-        ways = tuple(ways)
     try:
-        return ObserverConfig(
-            sets=_int_field(entry, "sets", 16),
-            ways=ways,
-            period=_int_field(entry, "period", 8),
-            jitter=_int_field(entry, "jitter", 0),
-            probe_seed=_int_field(entry, "probe_seed", 7),
-            mi_bins=_int_field(entry, "mi_bins", 4),
-        )
-    except BadRequest:
-        raise
-    except ConfigError as exc:
-        raise BadRequest(f"invalid observer config: {exc}") from exc
-
-
-def _build_burst(entry: Any) -> Any:
-    """Validate a ``"burst"`` sub-object into a BurstProfile."""
-    from repro.nic.arrivals import BurstProfile
-
-    _require(isinstance(entry, dict), "'burst' must be an object")
-    unknown = sorted(set(entry) - _BURST_KEYS)
-    _require(
-        not unknown,
-        "unknown burst knob(s): " + ", ".join(repr(k) for k in unknown)
-        + "; allowed: " + ", ".join(sorted(_BURST_KEYS)),
-    )
-    try:
-        return BurstProfile(
-            low=_int_field(entry, "low", 1),
-            high=_int_field(entry, "high", 33),
-            window=_int_field(entry, "window", 24),
-            seed=_int_field(entry, "seed", 5),
-        )
-    except BadRequest:
-        raise
-    except ConfigError as exc:
-        raise BadRequest(f"invalid burst profile: {exc}") from exc
-
-
-def _build_point(entry: Dict[str, Any], default_scale: float) -> PointSpec:
-    """One explicit point in the ``point_spec`` vocabulary."""
-    from repro.experiments.common import (
-        ExperimentSettings,
-        kvs_system,
-        kvs_workload,
-        l3fwd_workload,
-        point_spec,
-    )
-
-    _require(isinstance(entry, dict), "each point must be an object")
-    unknown = sorted(set(entry) - _POINT_KEYS)
-    _require(
-        not unknown,
-        "unknown point key(s): " + ", ".join(repr(k) for k in unknown)
-        + "; allowed: " + ", ".join(sorted(_POINT_KEYS)),
-    )
-    workload_kind = entry.get("workload", "kvs")
-    _require(
-        workload_kind in ("kvs", "l3fwd"),
-        f"point workload must be 'kvs' or 'l3fwd', got {workload_kind!r}",
-    )
-    scale = _number(entry, "scale", default_scale)
-    _require(0 < scale <= 1, "point 'scale' must be in (0, 1]")
-    buffers = int(_number(entry, "buffers", 512))
-    ways = int(_number(entry, "ways", 2))
-    packet_bytes = int(_number(entry, "packet_bytes", 1024))
-    policy = entry.get("policy", "ddio")
-    _require(
-        policy in ("dma", "ddio", "ideal"),
-        f"point policy must be dma/ddio/ideal, got {policy!r}",
-    )
-    label = entry.get("label") or (
-        f"{workload_kind}/{packet_bytes}B/{buffers} bufs/{policy}{ways}"
-    )
-    _require(isinstance(label, str), "point 'label' must be a string")
-    system = kvs_system(scale, buffers, ways, packet_bytes)
-    if workload_kind == "kvs":
-        workload = kvs_workload(scale, packet_bytes)
-    else:
-        workload = l3fwd_workload(packet_bytes)
-    settings = ExperimentSettings(
-        scale=scale, measure_multiplier=_number(entry, "measure", 1.0)
-    )
-    observer = None
-    if entry.get("observer") is not None:
-        observer = _build_observer(entry["observer"])
-    burst = None
-    if entry.get("burst") is not None:
-        burst = _build_burst(entry["burst"])
-    return point_spec(
-        label,
-        system,
-        workload,
-        policy,
-        sweeper=bool(entry.get("sweeper", False)),
-        queued_depth=int(_number(entry, "queued_depth", 1)),
-        settings=settings,
-        nic_tx_sweep=bool(entry.get("nic_tx_sweep", False)),
-        seed=int(_number(entry, "seed", 42)),
-        observer=observer,
-        burst=burst,
-    )
+        return build_point(entry, default_scale, path=f"points[{index}]")
+    except ScenarioError as exc:
+        raise BadRequest(str(exc)) from exc
 
 
 def parse_job_request(payload: Any) -> JobRequest:
     """Validate a ``POST /jobs`` body into a :class:`JobRequest`.
 
     Raises :class:`BadRequest` (HTTP 400) on any malformed field; an
-    unknown experiment name lists the servable ids in the message.
+    unknown experiment name lists the servable ids in the message, and
+    a malformed point or scenario document names the exact key path of
+    the offending field (``points[0].sweep.wayz``).
     """
     from repro.experiments import SPEC_BUILDERS, UNSERVABLE
     from repro.experiments.common import DEFAULT_SCALE, ExperimentSettings
@@ -246,12 +103,42 @@ def parse_job_request(payload: Any) -> JobRequest:
     )
     has_experiment = "experiment" in payload
     has_points = "points" in payload
+    has_scenario = "scenario" in payload
     _require(
-        has_experiment != has_points,
-        "exactly one of 'experiment' or 'points' is required",
+        int(has_experiment) + int(has_points) + int(has_scenario) == 1,
+        "exactly one of 'experiment', 'points', or 'scenario' is required",
     )
     scale = _number(payload, "scale", DEFAULT_SCALE)
     _require(0 < scale <= 1, "'scale' must be in (0, 1]")
+    if has_scenario:
+        from repro.scenario import (
+            ScenarioError,
+            compile_scenario,
+            scenario_from_dict,
+        )
+
+        # Top-level scale/measure, when present, override the document's
+        # defaults (same fidelity knobs as experiment jobs); otherwise
+        # the document speaks for itself.
+        settings = None
+        if "scale" in payload or "measure" in payload:
+            measure = _number(payload, "measure", 1.0)
+            _require(measure > 0, "'measure' must be > 0")
+            settings = ExperimentSettings(
+                scale=scale, measure_multiplier=measure
+            )
+        try:
+            compiled = compile_scenario(
+                scenario_from_dict(payload["scenario"]), settings=settings
+            )
+        except ScenarioError as exc:
+            raise BadRequest(str(exc)) from exc
+        return JobRequest(
+            compiled.run_label,
+            compiled.specs,
+            compiled.scale,
+            priority=priority,
+        )
     if has_experiment:
         name = payload["experiment"]
         if isinstance(name, str) and name in UNSERVABLE:
@@ -274,7 +161,10 @@ def parse_job_request(payload: Any) -> JobRequest:
         isinstance(points, list) and points,
         "'points' must be a non-empty list",
     )
-    specs = [_build_point(entry, scale) for entry in points]
+    specs = [
+        _build_point(entry, scale, index)
+        for index, entry in enumerate(points)
+    ]
     labels = [s.label for s in specs]
     _require(
         len(labels) == len(set(labels)), "point labels must be unique"

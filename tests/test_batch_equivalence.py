@@ -238,6 +238,7 @@ FIG_MODULES = [
     "fig8",
     "fig10",
     "headline",
+    "zoo",
 ]
 
 
@@ -279,6 +280,26 @@ def test_fig_harness_equivalence(fig, backend):
         obj = TraceSimulator(_cfg_from_spec(spec, "object")).run()
         bat = TraceSimulator(_cfg_from_spec(spec, "batch")).run()
         _assert_results_equal(obj, bat)
+
+
+@pytest.mark.parametrize("policy", ["occamy", "rdca"])
+@pytest.mark.parametrize("sweeper", [False, True])
+def test_zoo_policy_equivalence(backend, policy, sweeper):
+    """The policy zoo's members are engine-equivalent by construction
+    (hierarchy primitives only); this enforces it end to end."""
+    def run(engine):
+        cfg = TraceConfig(
+            system=make_tiny_system(num_cores=2),
+            workload=make_tiny_kvs(),
+            policy=policy,
+            sweeper=sweeper,
+            warmup_requests=192,
+            measure_requests=256,
+            engine=engine,
+        )
+        return TraceSimulator(cfg).run()
+
+    _assert_results_equal(run("object"), run("batch"))
 
 
 def test_epoch_chunked_equivalence(backend):

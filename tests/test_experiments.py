@@ -19,7 +19,7 @@ SETTINGS = ExperimentSettings(scale=0.05, measure_multiplier=0.25)
 def test_registry_covers_every_artifact():
     assert set(REGISTRY) == {
         "table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "fig10", "figS1", "figS2", "headline",
+        "fig10", "figS1", "figS2", "headline", "zoo",
     }
 
 

@@ -1,0 +1,583 @@
+"""Tests for the scenario DSL (repro.scenario) and the policy zoo.
+
+Four layers:
+
+* document validation — every malformed document fails with an error
+  naming the exact key path (the serve layer renders these as 400s);
+* compilation — sweep expansion order, named-block resolution, default
+  layering (point > settings > document), label uniqueness;
+* the zoo policies — occamy/rdca are deterministic, engine-equivalent
+  (see also test_batch_equivalence), and measurably distinct from DDIO;
+* serve integration — a scenario document submitted via ``POST /jobs``
+  compiles to the identical grid (hypothesis property over random
+  documents) and serves rows bit-identical to a local ``run_points``
+  of the same compiled specs (the end-to-end round trip).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import pointcache
+from repro.engine.parallel import run_points
+from repro.engine.tracer import TraceConfig, TraceSimulator
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentSettings, point_row, policy_label
+from repro.nic import OccamyPolicy, RdcaPolicy, make_policy
+from repro.nic.arrivals import BurstProfile
+from repro.obs.manifest import RunManifest, runs_dir
+from repro.report.timeline import list_runs
+from repro.scenario import (
+    POLICY_SPECS,
+    SCHEMA_VERSION,
+    ScenarioError,
+    compile_scenario,
+    load_scenario,
+    scenario_from_dict,
+)
+from repro.scenario.__main__ import main as scenario_main
+from repro.serve import JobScheduler, ServeClient, create_server, parse_job_request
+from repro.serve.jobs import BadRequest
+from tests.conftest import make_tiny_kvs, make_tiny_system
+
+SCALE = 0.02
+
+
+def zoo_doc(**overrides):
+    """A small but fully-featured valid document (fast to compile)."""
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "name": "unit",
+        "scale": SCALE,
+        "measure": 0.01,
+        "seed": 7,
+        "workloads": {"mica": {"kind": "kvs", "packet_bytes": 512}},
+        "policies": {
+            "swept": {"policy": "ddio", "ways": 2, "sweeper": True}
+        },
+        "arrivals": {"bursty": {"low": 1, "high": 9, "window": 12, "seed": 3}},
+        "points": [
+            {
+                "workload": "mica",
+                "buffers": 64,
+                "label": "pt",
+                "sweep": {"policy": ["ddio", "occamy"], "queued_depth": [1, 4]},
+            }
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "mutate, path_fragment",
+        [
+            (lambda d: d.pop("schema_version"), "scenario.schema_version"),
+            (lambda d: d.update(schema_version=99), "scenario.schema_version"),
+            (lambda d: d.pop("name"), "scenario.name"),
+            (lambda d: d.update(extra=1), "'extra'"),
+            (lambda d: d.update(scale=2.0), "scenario.scale"),
+            (lambda d: d.update(measure=0), "scenario.measure"),
+            (lambda d: d.pop("points"), "scenario.points"),
+            (lambda d: d.update(points=[]), "scenario.points"),
+            (
+                lambda d: d["points"][0].update(swepper=True),
+                "points[0]",
+            ),
+            (
+                lambda d: d["points"][0]["sweep"].update(wayz=[1]),
+                "points[0].sweep.wayz",
+            ),
+            (
+                lambda d: d["points"][0]["sweep"].update(label=["a"]),
+                "points[0].sweep.label",
+            ),
+            (
+                lambda d: d["points"][0]["sweep"].update(packet_bytes=[]),
+                "points[0].sweep.packet_bytes",
+            ),
+            (
+                lambda d: d["points"][0]["sweep"].update(packet_bytes=[[64]]),
+                "points[0].sweep.packet_bytes[0]",
+            ),
+            (
+                # "buffers" is set directly on the template, so sweeping
+                # it too must be rejected as a conflict
+                lambda d: d["points"][0]["sweep"].update(buffers=[32, 64]),
+                "points[0].sweep.buffers",
+            ),
+            (
+                lambda d: d["workloads"].update(bad={"kind": "gpu"}),
+                "workloads.bad.kind",
+            ),
+            (
+                lambda d: d["policies"].update(bad={"policy": "magic"}),
+                "policies.bad.policy",
+            ),
+            (
+                lambda d: d["policies"]["swept"].update(sweeper=1),
+                "policies.swept.sweeper",
+            ),
+            (
+                lambda d: d["arrivals"].update(bad={"lo": 1}),
+                "arrivals.bad",
+            ),
+            (
+                lambda d: d["observers"].update(bad={"sets": "many"})
+                if "observers" in d
+                else d.update(observers={"bad": {"sets": "many"}}),
+                "observers.bad.sets",
+            ),
+        ],
+    )
+    def test_bad_documents_name_their_key_path(self, mutate, path_fragment):
+        doc = zoo_doc()
+        mutate(doc)
+        with pytest.raises(ScenarioError) as err:
+            compile_scenario(scenario_from_dict(doc))
+        assert path_fragment in str(err.value), str(err.value)
+
+    def test_unresolved_references_name_the_point(self):
+        for key, value in (
+            ("workload", "nope"),
+            ("policy", "nope"),
+            ("arrival", "nope"),
+            ("observer", "nope"),
+        ):
+            doc = zoo_doc()
+            doc["points"][0].pop("sweep")
+            doc["points"][0][key] = value
+            with pytest.raises(ScenarioError) as err:
+                compile_scenario(scenario_from_dict(doc))
+            assert f"points[0].{key}" in str(err.value)
+            assert "nope" in str(err.value)
+
+    def test_duplicate_labels_rejected_with_hint(self):
+        doc = zoo_doc()
+        doc["points"][0].pop("sweep")
+        doc["points"].append(dict(doc["points"][0]))
+        with pytest.raises(ScenarioError) as err:
+            compile_scenario(scenario_from_dict(doc))
+        assert "duplicate point label" in str(err.value)
+
+    def test_arrival_and_inline_burst_conflict(self):
+        doc = zoo_doc()
+        doc["points"][0].pop("sweep")
+        doc["points"][0]["arrival"] = "bursty"
+        doc["points"][0]["burst"] = {"low": 1}
+        with pytest.raises(ScenarioError) as err:
+            compile_scenario(scenario_from_dict(doc))
+        assert "points[0].arrival" in str(err.value)
+
+
+class TestCompile:
+    def test_sweep_expansion_order_and_labels(self):
+        compiled = compile_scenario(scenario_from_dict(zoo_doc()))
+        assert [s.label for s in compiled.specs] == [
+            "pt policy=ddio queued_depth=1",
+            "pt policy=ddio queued_depth=4",
+            "pt policy=occamy queued_depth=1",
+            "pt policy=occamy queued_depth=4",
+        ]
+        assert [s.policy for s in compiled.specs] == [
+            "ddio", "ddio", "occamy", "occamy",
+        ]
+        assert compiled.run_label == "scenario:unit"
+        assert compiled.scale == SCALE
+
+    def test_named_blocks_resolve_and_explicit_keys_win(self):
+        doc = zoo_doc()
+        doc["points"] = [
+            {"label": "a", "policy": "swept"},
+            {"label": "b", "policy": "swept", "sweeper": False, "ways": 4},
+        ]
+        a, b = compile_scenario(scenario_from_dict(doc)).specs
+        assert a.policy == "ddio" and a.sweeper is True
+        assert a.system.nic.ddio_ways == 2
+        # explicit point keys beat the named block's fills
+        assert b.sweeper is False
+        assert b.system.nic.ddio_ways == 4
+
+    def test_arrival_block_becomes_burst_profile(self):
+        doc = zoo_doc()
+        doc["points"] = [{"label": "a", "arrival": "bursty"}]
+        (spec,) = compile_scenario(scenario_from_dict(doc)).specs
+        assert spec.burst == BurstProfile(low=1, high=9, window=12, seed=3)
+
+    def test_default_layering_doc_settings_point(self):
+        doc = zoo_doc()
+        doc["points"] = [
+            {"label": "doc-defaults"},
+            {"label": "explicit", "scale": 0.03, "seed": 11},
+        ]
+        compiled = compile_scenario(scenario_from_dict(doc))
+        assert compiled.specs[0].seed == 7  # document default
+        assert compiled.specs[1].seed == 11  # point override
+        # settings (the serve fidelity knobs) override document defaults
+        # but never explicit per-point values
+        tuned = compile_scenario(
+            scenario_from_dict(doc),
+            settings=ExperimentSettings(scale=0.04, measure_multiplier=0.01),
+        )
+        assert tuned.scale == 0.04
+        assert tuned.specs[0].system.cpu.num_cores == compile_scenario(
+            scenario_from_dict({**doc, "scale": 0.04})
+        ).specs[0].system.cpu.num_cores
+        assert tuned.specs[1].seed == 11
+
+    def test_compilation_is_deterministic(self):
+        fps = [
+            [pointcache.fingerprint(s) for s in
+             compile_scenario(scenario_from_dict(zoo_doc())).specs]
+            for _ in range(2)
+        ]
+        assert fps[0] == fps[1]
+
+    def test_policy_participates_in_fingerprint(self):
+        compiled = compile_scenario(scenario_from_dict(zoo_doc()))
+        by_policy = {}
+        for spec in compiled.specs:
+            by_policy.setdefault(spec.policy, set()).add(
+                pointcache.fingerprint(spec)
+            )
+        assert not (by_policy["ddio"] & by_policy["occamy"])
+
+    def test_json_and_toml_files_load(self, tmp_path):
+        doc = zoo_doc()
+        jpath = tmp_path / "s.json"
+        jpath.write_text(json.dumps(doc))
+        from_json = compile_scenario(load_scenario(jpath))
+        assert len(from_json.specs) == 4
+
+        tomllib = pytest.importorskip("tomllib")
+        del tomllib
+        toml_lines = [
+            f"schema_version = {SCHEMA_VERSION}",
+            'name = "unit"',
+            f"scale = {SCALE}",
+            "measure = 0.01",
+            "seed = 7",
+            "[workloads.mica]",
+            'kind = "kvs"',
+            "packet_bytes = 512",
+            "[[points]]",
+            'workload = "mica"',
+            "buffers = 64",
+            'label = "pt"',
+            "[points.sweep]",
+            'policy = ["ddio", "occamy"]',
+            "queued_depth = [1, 4]",
+        ]
+        tpath = tmp_path / "s.toml"
+        tpath.write_text("\n".join(toml_lines) + "\n")
+        from_toml = compile_scenario(load_scenario(tpath))
+        assert [pointcache.fingerprint(s) for s in from_toml.specs] == [
+            pointcache.fingerprint(s) for s in from_json.specs
+        ]
+
+    def test_bad_suffix_and_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError):
+            load_scenario(tmp_path / "missing.toml")
+        bad = tmp_path / "s.yaml"
+        bad.write_text("{}")
+        with pytest.raises(ScenarioError) as err:
+            load_scenario(bad)
+        assert ".toml or .json" in str(err.value)
+
+    def test_example_scenarios_compile(self):
+        pytest.importorskip("tomllib")
+        from repro.experiments.zoo import SCENARIO_PATH
+
+        zoo = compile_scenario(load_scenario(SCENARIO_PATH))
+        assert len(zoo.specs) == 10
+        assert sorted({s.policy for s in zoo.specs}) == sorted(POLICY_SPECS)
+        assert {s.queued_depth for s in zoo.specs} == {1, 16}
+
+        mica = compile_scenario(
+            load_scenario(SCENARIO_PATH.parent / "bursty_diurnal_mica.toml")
+        )
+        assert len(mica.specs) == 6
+        assert all(s.burst is not None for s in mica.specs)
+        assert {s.policy for s in mica.specs} == {"ddio", "occamy"}
+
+
+class TestZooPolicies:
+    def _run(self, policy, engine="object", sweeper=False):
+        cfg = TraceConfig(
+            system=make_tiny_system(num_cores=2),
+            workload=make_tiny_kvs(),
+            policy=policy,
+            sweeper=sweeper,
+            warmup_requests=128,
+            measure_requests=192,
+            engine=engine,
+        )
+        return TraceSimulator(cfg).run()
+
+    def test_make_policy_builds_zoo_members(self):
+        occamy = make_policy("occamy", 4)
+        assert isinstance(occamy, OccamyPolicy)
+        assert occamy.ways == 4 and "Occamy" in occamy.name
+        rdca = make_policy("rdca", 2)
+        assert isinstance(rdca, RdcaPolicy)
+        with pytest.raises(ConfigError) as err:
+            make_policy("magic")
+        # the error teaches the full vocabulary, zoo included
+        assert "occamy" in str(err.value) and "rdca" in str(err.value)
+
+    def test_policy_labels(self):
+        assert policy_label("occamy", 2, False) == "Occamy 2 Ways"
+        assert policy_label("rdca", 4, True) == "RDCA 4 Ways + Sweeper"
+        with pytest.raises(ConfigError):
+            policy_label("magic", 2, False)
+
+    @pytest.mark.parametrize("policy", ["occamy", "rdca"])
+    def test_deterministic_and_distinct_from_ddio(self, policy):
+        ddio = self._run("ddio")
+        first = self._run(policy)
+        again = self._run(policy)
+        assert first.traffic.snapshot() == again.traffic.snapshot()
+        assert first.cache_totals == again.cache_totals
+        assert first.traffic.snapshot() != ddio.traffic.snapshot(), (
+            f"{policy} is indistinguishable from ddio on the tiny system"
+        )
+
+    def test_occamy_actually_preempts_and_rdca_bounds_pool(self):
+        system = make_tiny_system(num_cores=2)
+        cfg = TraceConfig(
+            system=system,
+            workload=make_tiny_kvs(),
+            policy="occamy",
+            warmup_requests=64,
+            measure_requests=128,
+            engine="object",
+        )
+        sim = TraceSimulator(cfg)
+        sim.run()
+        assert sim.policy.preempted > 0
+
+        cfg2 = TraceConfig(
+            system=system,
+            workload=make_tiny_kvs(),
+            policy="rdca",
+            warmup_requests=64,
+            measure_requests=128,
+            engine="object",
+        )
+        sim2 = TraceSimulator(cfg2)
+        sim2.run()
+        assert sim2.policy.pool_evictions > 0
+        for pool in sim2.policy._pool.values():
+            assert len(pool) <= RdcaPolicy.pool_buffers
+
+    def test_zoo_policies_work_with_sweeper(self):
+        # the cascade rules (and clsweep) must compose with zoo policies
+        plain = self._run("occamy", sweeper=False)
+        swept = self._run("occamy", sweeper=True)
+        assert swept.sweep_instructions > 0
+        assert plain.traffic.snapshot() != swept.traffic.snapshot()
+
+
+# --- hypothesis: serve-compiled == locally-compiled, for any document ----
+
+_policies = st.lists(
+    st.sampled_from(sorted(POLICY_SPECS)), min_size=1, max_size=3, unique=True
+)
+_depths = st.lists(
+    st.integers(min_value=1, max_value=16), min_size=1, max_size=2, unique=True
+)
+
+
+class TestServeScenario:
+    @given(
+        policies=_policies,
+        depths=_depths,
+        buffers=st.sampled_from([32, 64, 128]),
+        seed=st.integers(min_value=0, max_value=2**31),
+        bursty=st.booleans(),
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_document_compiles_identically_via_serve(
+        self, policies, depths, buffers, seed, bursty
+    ):
+        """POST /jobs {"scenario": ...} builds the exact local grid.
+
+        Combined with run_points determinism (asserted end-to-end
+        below and across the serve/cluster suites), this is the
+        round-trip property: any DSL-built scenario served through the
+        API simulates precisely the specs a local run would.
+        """
+        doc = zoo_doc(seed=seed)
+        doc["points"][0]["sweep"] = {
+            "policy": policies,
+            "queued_depth": depths,
+        }
+        doc["points"][0]["buffers"] = buffers
+        if bursty:
+            doc["points"][0]["arrival"] = "bursty"
+        local = compile_scenario(scenario_from_dict(doc))
+        request = parse_job_request({"scenario": doc})
+        assert request.name == "scenario:unit"
+        assert request.scale == local.scale
+        assert [s.label for s in request.specs] == [
+            s.label for s in local.specs
+        ]
+        assert [pointcache.fingerprint(s) for s in request.specs] == [
+            pointcache.fingerprint(s) for s in local.specs
+        ]
+
+    def test_exactly_one_body_kind(self):
+        with pytest.raises(BadRequest):
+            parse_job_request({"scenario": zoo_doc(), "points": [{}]})
+        with pytest.raises(BadRequest):
+            parse_job_request({"experiment": "fig1", "scenario": zoo_doc()})
+
+    def test_scenario_errors_become_bad_requests_with_paths(self):
+        doc = zoo_doc()
+        doc["points"][0]["sweep"]["wayz"] = [1, 2]
+        with pytest.raises(BadRequest) as err:
+            parse_job_request({"scenario": doc})
+        assert "points[0].sweep.wayz" in str(err.value)
+        assert "allowed" in str(err.value)
+
+    def test_top_level_fidelity_overrides(self):
+        request = parse_job_request(
+            {"scenario": zoo_doc(), "scale": 0.03, "measure": 0.01}
+        )
+        assert request.scale == 0.03
+        local = compile_scenario(
+            scenario_from_dict(zoo_doc()),
+            settings=ExperimentSettings(scale=0.03, measure_multiplier=0.01),
+        )
+        assert [pointcache.fingerprint(s) for s in request.specs] == [
+            pointcache.fingerprint(s) for s in local.specs
+        ]
+
+    def test_served_scenario_rows_bit_identical_to_local(
+        self, tmp_path, monkeypatch
+    ):
+        """The end-to-end satellite: POST /jobs -> GET /result equals
+        a local run_points of the same compiled specs, byte for byte
+        (modulo wall-clock sim_seconds)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "pointcache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        doc = zoo_doc()
+        doc["points"][0]["sweep"] = {"policy": ["ddio", "occamy", "rdca"]}
+        doc["points"][0]["arrival"] = "bursty"
+
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        local = compile_scenario(scenario_from_dict(doc))
+        local_rows = [
+            point_row(p, local.scale)
+            for p in run_points(local.specs, max_workers=1)
+        ]
+        monkeypatch.delenv("REPRO_NO_CACHE")
+
+        scheduler = JobScheduler(workers=1)
+        server = create_server(port=0, scheduler=scheduler)
+        scheduler.start()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            client = ServeClient(f"http://{host}:{port}")
+            job = client.submit_scenario(doc)
+            snapshot = client.wait(job["id"], timeout=600)
+            assert snapshot["state"] == "done", snapshot
+            result = client.result(job["id"])
+            assert result["figure"] == "scenario:unit"
+            assert result["scale"] == local.scale
+
+            def strip(row):
+                return {
+                    k: v
+                    for k, v in row.items()
+                    if k not in ("sim_seconds", "from_cache")
+                }
+
+            assert json.dumps(
+                [strip(r) for r in result["rows"]], sort_keys=True
+            ) == json.dumps(
+                [strip(r) for r in local_rows], sort_keys=True
+            )
+
+            # scenario-born runs are called out by timeline --list
+            assert snapshot["run_id"]
+            run_dir = runs_dir() / snapshot["run_id"]
+            manifest = RunManifest.load(run_dir / "manifest.json")
+            assert manifest.run_label == "serve-scenario:unit"
+            listing = list_runs(runs_dir())
+            assert "scenario=unit" in listing
+            assert "policies=ddio/occamy/rdca" in listing
+        finally:
+            server.shutdown()
+            server.server_close()
+            scheduler.stop(wait=False)
+
+
+class TestScenarioCli:
+    def _write(self, tmp_path, doc):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_compile_json_output(self, tmp_path, capsys):
+        path = self._write(tmp_path, zoo_doc())
+        assert scenario_main(["compile", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["name"] == "unit"
+        assert len(payload["points"]) == 4
+        assert all(p["fingerprint"] for p in payload["points"])
+
+    def test_compile_human_output(self, tmp_path, capsys):
+        path = self._write(tmp_path, zoo_doc())
+        assert scenario_main(["compile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "policy-zoo" not in out  # this is the unit doc
+        assert "scenario 'unit': 4 points" in out
+
+    def test_errors_exit_2_with_path(self, tmp_path, capsys):
+        doc = zoo_doc()
+        doc["points"][0]["sweep"]["wayz"] = [1]
+        path = self._write(tmp_path, doc)
+        assert scenario_main(["compile", str(path)]) == 2
+        assert "points[0].sweep.wayz" in capsys.readouterr().err
+
+    def test_compile_fidelity_overrides(self, tmp_path, capsys):
+        path = self._write(tmp_path, zoo_doc())
+        assert (
+            scenario_main(
+                ["compile", str(path), "--json", "--scale", "0.03"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scale"] == 0.03
+
+    def test_list_policies(self, capsys):
+        assert scenario_main(["list-policies"]) == 0
+        out = capsys.readouterr().out
+        for name in POLICY_SPECS:
+            assert name in out
+
+    def test_run_emits_shared_schema(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        doc = zoo_doc()
+        doc["points"] = [{"label": "one", "buffers": 64, "policy": "rdca"}]
+        path = self._write(tmp_path, doc)
+        assert scenario_main(["run", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure"] == "scenario:unit"
+        assert [r["label"] for r in payload["rows"]] == ["one"]
+        assert payload["rows"][0]["breakdown"]

@@ -605,7 +605,7 @@ def test_serve_unknown_observer_knob_is_400_naming_the_vocabulary():
         ({"observer": {"sets": 0}}, "invalid observer config"),
         ({"observer": {"ways": [0, "x"]}}, "list of integers"),
         ({"observer": 7}, "must be an object"),
-        ({"burst": {"lo": 1}}, "unknown burst knob"),
+        ({"burst": {"lo": 1}}, "unknown burst key(s): 'lo'"),
         ({"burst": {"low": 0}}, "invalid burst profile"),
         ({"burst": {"seed": 1.5}}, "must be an integer"),
     ],
