@@ -343,3 +343,107 @@ def test_observer_overhead(results_dir):
     # Catastrophic-regression guard: the tick is a cheap integer check
     # per request plus a probe sweep every OBSERVER.period requests.
     assert overhead < 3.0
+
+
+def test_snapshot_sweep_bench(results_dir, tmp_path, monkeypatch):
+    """Warm-state snapshots on a way-mask sweep -> BENCH_pr9.json.
+
+    A fig5-style sweep of 8 points that differ only in the measured
+    window's DDIO way mask (``measure_ddio_ways``) shares one warmup
+    fingerprint, so with snapshots on the warmup is simulated once and
+    the other 7 points fork off the restored state. The committed JSON
+    is the snapshot subsystem's perf receipt: sweep wall time with
+    snapshots off vs on, the restored count from the run manifest, and
+    the bit-identity of every row against the snapshots-off baseline.
+    """
+    from repro.engine.parallel import last_run_dir, run_points
+    from repro.experiments.common import point_row
+    from repro.obs.manifest import RunManifest
+
+    settings = ExperimentSettings(scale=0.1, measure_multiplier=0.5)
+    masks = list(range(1, 9))
+
+    def sweep_specs():
+        # Fresh specs per run: simulators mutate workload state in place.
+        return [
+            point_spec(
+                f"mask-{ways}",
+                kvs_system(0.1, 1024, 2, 1024),
+                kvs_workload(0.1, 1024),
+                "ddio",
+                settings=settings,
+                measure_ddio_ways=ways,
+            )
+            for ways in masks
+        ]
+
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+
+    def sweep(snapshots: bool, workers: int = 1, tag: str = ""):
+        monkeypatch.setenv(
+            "REPRO_CACHE_DIR",
+            str(tmp_path / f"cache-{'on' if snapshots else 'off'}{tag}"),
+        )
+        monkeypatch.setenv("REPRO_SNAPSHOTS", "1" if snapshots else "0")
+        start = time.perf_counter()
+        points = run_points(
+            sweep_specs(), max_workers=workers, run_label="snapshot-bench"
+        )
+        wall = time.perf_counter() - start
+        manifest = RunManifest.load(last_run_dir() / "manifest.json")
+        restored = sum(p.warm_restored for p in manifest.points)
+        return points, wall, restored, manifest.engine
+
+    off_points, off_seconds, off_restored, engine = sweep(snapshots=False)
+    on_points, on_seconds, on_restored, _ = sweep(snapshots=True)
+    par_points, _, par_restored, _ = sweep(
+        snapshots=True, workers=2, tag="-w2"
+    )
+
+    # The whole contract: restoring a warm snapshot must not change a
+    # single bit of any row relative to re-simulating the warmup.
+    def strip(result):
+        row = point_row(result, settings.scale)
+        row.pop("sim_seconds")
+        row.pop("from_cache")
+        return row
+
+    assert off_restored == 0
+    assert on_restored == len(masks) - 1, on_restored
+    # Across workers the leader is gated to finish first, so the
+    # followers all restore too — and must stay bit-identical.
+    assert par_restored == len(masks) - 1, par_restored
+    for off, on, par in zip(off_points, on_points, par_points):
+        assert strip(off) == strip(on), off.label
+        assert strip(off) == strip(par), off.label
+
+    speedup = off_seconds / on_seconds
+    payload = {
+        "benchmark": "hotpath_micro/snapshot_sweep",
+        "point": "kvs 1024B, 1024 buffers, 2 ways @ scale 0.1, "
+        "measure_ddio_ways 1..8",
+        "engine": engine,
+        "sweep_points": len(masks),
+        "snapshots_off_seconds": round(off_seconds, 4),
+        "snapshots_on_seconds": round(on_seconds, 4),
+        "speedup": round(speedup, 2),
+        "warm_restored_serial": on_restored,
+        "warm_restored_workers2": par_restored,
+        "rows_bit_identical": True,
+    }
+    (results_dir / "BENCH_pr9.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = ["warm-state snapshots: 8-point way-mask sweep"]
+    lines.append(f"  {'snapshots off (s)':28s} {off_seconds:>14.3f}")
+    lines.append(f"  {'snapshots on (s)':28s} {on_seconds:>14.3f}")
+    lines.append(f"  {'speedup':28s} {speedup:>14.2f}x")
+    lines.append(f"  {'restored':28s} {on_restored:>14d}")
+    emit(results_dir, "hotpath_snapshot", "\n".join(lines))
+
+    # Catastrophic-regression guard only: warmup is ~60% of each point
+    # at this scale, so the amortized sweep should be well under the
+    # baseline even on noisy shared CI machines.
+    assert on_seconds < off_seconds

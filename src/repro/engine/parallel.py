@@ -72,7 +72,7 @@ from typing import (
     TypeVar,
 )
 
-from repro.engine import faults, pointcache
+from repro.engine import faults, pointcache, snapshot
 from repro.errors import ConfigError
 from repro.obs import events as obs_events
 from repro.obs import manifest as obs_manifest
@@ -188,14 +188,19 @@ class PointSpec:
     observer: Optional[ObserverConfig] = None
     #: seeded bursty-load profile (None = constant backlog target).
     burst: Optional[BurstProfile] = None
+    #: DDIO way count applied at the warmup->measure boundary (None =
+    #: the system-wide mask throughout). The measure-phase knob that
+    #: lets a way-mask sweep share one warmup snapshot; see
+    #: :class:`repro.engine.tracer.TraceConfig`.
+    measure_ddio_ways: Optional[int] = None
 
     def cache_key(self) -> str:
         """Deterministic identity of the simulation's inputs.
 
         The label is presentation-only and deliberately excluded;
-        :func:`run_cached_spec` re-stamps it on cache hits. The observer
-        and burst lines are appended only when set, so every pre-existing
-        observer-less fingerprint is unchanged.
+        :func:`run_cached_spec` re-stamps it on cache hits. The
+        observer, burst, and measure-override lines are appended only
+        when set, so every pre-existing fingerprint layout is unchanged.
         """
         key = "\n".join(
             (
@@ -216,6 +221,41 @@ class PointSpec:
         )
         if self.observer is not None:
             key += "\nobserver=" + repr(self.observer)
+        if self.burst is not None:
+            key += "\nburst=" + repr(self.burst)
+        if self.measure_ddio_ways is not None:
+            key += "\nmeasure_ddio_ways=" + repr(self.measure_ddio_ways)
+        return key
+
+    def warmup_key(self) -> str:
+        """Identity of the config prefix up to end-of-warmup.
+
+        Everything that influences simulator state through the last
+        warmup request — system, workload, policy, switches, seed,
+        warmup count, burst profile — and nothing that only shapes the
+        measured window (measure count, measure-phase DDIO override,
+        observer, label). Two specs with equal warmup keys fork their
+        measured windows off one shared warm-state snapshot
+        (:mod:`repro.engine.snapshot`). Any field added to this key
+        must be added to :meth:`cache_key` too (the point identity
+        must always subsume the warmup identity).
+        """
+        key = "\n".join(
+            (
+                repr(self.system),
+                self.workload.cache_key(),
+                self.policy,
+                repr(
+                    (
+                        self.sweeper,
+                        self.nic_tx_sweep,
+                        self.queued_depth,
+                        self.seed,
+                        self.warmup_requests,
+                    )
+                ),
+            )
+        )
         if self.burst is not None:
             key += "\nburst=" + repr(self.burst)
         return key
@@ -257,6 +297,7 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
         measure_requests=spec.measure_requests,
         observer=spec.observer,
         burst=spec.burst,
+        measure_ddio_ways=spec.measure_ddio_ways,
     )
     obs = ObsContext.from_env()
     profiling = os.environ.get("REPRO_PROFILE", "") == "1"
@@ -264,6 +305,22 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
     faults.on_point_start(spec.label)
     start = time.perf_counter()
     sim = TraceSimulator(cfg, obs=obs)
+    # Warm-state snapshots (DESIGN.md §14): a snapshot miss arms the
+    # on_warm capture hook; a hit skips the warmup entirely. Failures
+    # anywhere on the snapshot path must never fail the point.
+    warm_state = None
+    warm_fp: Optional[str] = None
+    on_warm = None
+    if snapshot.eligible(spec):
+        warm_fp = snapshot.warmup_fingerprint(spec)
+        warm_state = snapshot.load_state(warm_fp, sim.engine)
+
+        # Armed even on a hit: run() only calls on_warm after a
+        # *simulated* warmup, so this also overwrites a stored state
+        # that failed restore validation with a fresh capture.
+        def on_warm(state, _fp=warm_fp, _engine=sim.engine):
+            snapshot.store_state(_fp, _engine, state)
+
     if profiling:
         import cProfile
         import io
@@ -271,7 +328,7 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
 
         profiler = cProfile.Profile()
         profiler.enable()
-        trace = sim.run()
+        trace = sim.run(warm_state=warm_state, on_warm=on_warm)
         profiler.disable()
         buf = io.StringIO()
         pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(20)
@@ -282,8 +339,30 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
             "profile", force=True, label=spec.label, text=buf.getvalue()
         )
     else:
-        trace = sim.run()
+        trace = sim.run(warm_state=warm_state, on_warm=on_warm)
     elapsed = time.perf_counter() - start
+    if warm_state is not None:
+        if sim.warm_restored:
+            snapshot.counters["restored"] += 1
+            log.debug(
+                "snapshot.restore",
+                label=spec.label,
+                fingerprint=warm_fp[:12],
+                engine=sim.engine,
+            )
+        else:
+            # PR 7-style deterministic fallback: the stored state did
+            # not match this simulator (stale schema, foreign engine),
+            # so the warmup was simulated normally — logged, never
+            # silent, and bit-identical to the no-snapshot path.
+            snapshot.counters["fallbacks"] += 1
+            log.warning(
+                "snapshot.fallback",
+                label=spec.label,
+                fingerprint=warm_fp[:12],
+                engine=sim.engine,
+                reason="stored state did not validate against this simulator",
+            )
     timeline_file: Optional[str] = None
     if obs is not None and obs.timeline and run_dir is not None:
         rel = Path("timelines") / _timeline_filename(spec)
@@ -305,6 +384,7 @@ def run_spec(spec: PointSpec, run_dir: Optional[str] = None):
         sim_seconds=elapsed,
         timeline_file=timeline_file,
         probe_file=probe_file,
+        warm_restored=bool(getattr(sim, "warm_restored", False)),
     )
 
 
@@ -324,6 +404,8 @@ def run_cached_spec(spec: PointSpec, run_dir: Optional[str] = None):
         cached.timeline_file = None
         cached.probe_file = None
         cached.worker_id = None
+        # Provenance of *this* run: a cache hit didn't restore anything.
+        cached.warm_restored = False
         return cached
     result = run_spec(spec, run_dir=run_dir)
     pointcache.store(fp, result)
@@ -442,6 +524,10 @@ def _point_record(
         error=error,
         attempts=max(1, attempts),
         worker_id=getattr(result, "worker_id", None),
+        warmup_fingerprint=(
+            snapshot.warmup_fingerprint(spec) if spec.observer is None else None
+        ),
+        warm_restored=bool(getattr(result, "warm_restored", False)),
     )
 
 
@@ -529,6 +615,7 @@ def _run_parallel(
     results: List,
     attempts: List[int],
     errors: Dict[int, str],
+    holds: Optional[Dict[int, List[int]]] = None,
 ) -> None:
     """Process-pool execution with crash recovery (fills the outputs).
 
@@ -544,14 +631,30 @@ def _run_parallel(
     * with ``timeout`` set, an attempt running longer is abandoned (the
       worker finishes in the background, its result discarded) and the
       point rescheduled, charging one attempt.
+
+    ``holds`` maps warmup-group leader index -> follower indices
+    (:func:`repro.engine.snapshot.warmup_groups`): followers stay out
+    of the ready queue until their leader terminally resolves (result
+    *or* exhausted retries), so exactly one worker simulates the shared
+    warmup and stores the snapshot the followers then restore. Safe
+    against deadlock because a leader always resolves: it is never held
+    itself, and both terminal paths release its followers.
     """
     total = len(spec_list)
     pool = ProcessPoolExecutor(max_workers=workers)
     pending: Dict[Future, int] = {}
     started: Dict[Future, float] = {}
     owner: Dict[Future, ProcessPoolExecutor] = {}
-    ready: List[Tuple[float, int]] = [(0.0, i) for i in range(total)]
+    holds = dict(holds or {})
+    held = {i for followers in holds.values() for i in followers}
+    ready: List[Tuple[float, int]] = [
+        (0.0, i) for i in range(total) if i not in held
+    ]
     done_count = 0
+
+    def release_followers(i: int) -> None:
+        for j in holds.pop(i, ()):
+            ready.append((0.0, j))
 
     def rebuild_if_current(broken: ProcessPoolExecutor) -> None:
         nonlocal pool
@@ -584,6 +687,7 @@ def _run_parallel(
         if attempts[i] > retries:
             errors[i] = error
             done_count += 1
+            release_followers(i)  # a dead leader must not strand its group
             log.error(
                 "point.failed",
                 run=run_label or "-",
@@ -616,6 +720,12 @@ def _run_parallel(
                     next_due = min(nb for nb, _ in ready)
                     time.sleep(min(0.05, max(0.0, next_due - now)))
                     continue
+                if holds:
+                    # Unreachable by construction (leaders always
+                    # resolve), but never strand held followers.
+                    for leader in list(holds):
+                        release_followers(leader)
+                    continue
                 break  # every point resolved to a result or an error
             done, _ = futures_wait(
                 list(pending), timeout=0.05, return_when=FIRST_COMPLETED
@@ -637,6 +747,7 @@ def _run_parallel(
                 else:
                     results[i] = result
                     done_count += 1
+                    release_followers(i)
                     _emit_point_progress(
                         log, run_label, done_count, total, result, t0
                     )
@@ -684,6 +795,10 @@ def run_points(
     spec_list = list(specs)
     if not spec_list:
         return []
+    # Validate the size knob up front (strict): a malformed value must
+    # fail the run before any point simulates — and before a run dir is
+    # created — not from store() after the first point finishes.
+    pointcache.cache_max_bytes()
     workers = max_workers if max_workers is not None else default_workers()
     workers = min(workers, len(spec_list))
     log = obs_events.get_event_log()
@@ -706,6 +821,12 @@ def run_points(
     results: List = [None] * total
     attempts: List[int] = [0] * total
     errors: Dict[int, str] = {}
+    # Warmup-sharing groups (DESIGN.md §14). The serial path needs no
+    # gating: in-order execution runs each group's leader first.
+    holds: Dict[int, List[int]] = {}
+    if workers > 1:
+        for idxs in snapshot.warmup_groups(spec_list).values():
+            holds[idxs[0]] = idxs[1:]
 
     def finalize(status: str) -> None:
         if manifest is not None and run_dir is not None:
@@ -730,6 +851,7 @@ def run_points(
             _run_parallel(
                 spec_list, runner, workers, log, run_label, t0,
                 retries, backoff, timeout, results, attempts, errors,
+                holds=holds,
             )
     except BaseException:
         # Unexpected abort (KeyboardInterrupt, pool setup failure, ...):
@@ -744,6 +866,11 @@ def run_points(
         run=run_label or "-",
         points=total,
         cached=sum(1 for r in results if r is not None and r.from_cache),
+        warm_restored=sum(
+            1
+            for r in results
+            if r is not None and getattr(r, "warm_restored", False)
+        ),
         retried=sum(1 for a in attempts if a > 1),
         status=status,
         wall_s=wall,

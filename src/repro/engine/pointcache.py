@@ -28,9 +28,17 @@ every reader sees a complete file.
 Entries live in one subdirectory per code generation
 (``<cache_dir>/<code_salt[:16]>/<fingerprint>.pkl``), because any source
 change invalidates every prior entry: the generation that produced them
-becomes unreachable garbage the moment the salt changes. ``python -m
+becomes unreachable garbage the moment the salt changes. Warm-state
+snapshots (:mod:`repro.engine.snapshot`) live under a ``snapshots/``
+subdirectory of the same generation as ``*.snap`` files and share the
+size accounting, pruning, and GC lifecycle. ``python -m
 repro.engine.pointcache --stats`` reports generations and sizes;
-``--gc`` deletes orphaned generations and applies the size bound.
+``--gc`` deletes orphaned generations and applies the size bound. GC
+also collects ``*.tmp`` orphans *inside* generation dirs (crashed
+writers leave their ``mkstemp`` temp files there, not at the cache
+root), age-guarded by :data:`TMP_MAX_AGE_S` so a live writer's temp
+file is never raced; their bytes count toward the size stats either
+way.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -47,6 +56,10 @@ from repro.engine import faults
 from repro.errors import ConfigError
 
 DEFAULT_CACHE_DIR = Path("results") / ".pointcache"
+
+#: minimum age before an in-generation ``*.tmp`` orphan is collected;
+#: anything younger may be a live writer mid-``pickle.dump``.
+TMP_MAX_AGE_S = 3600.0
 
 #: everything unpickling a damaged/foreign entry is known to raise:
 #: OSError (unreadable), EOFError/UnpicklingError (truncated stream),
@@ -100,17 +113,42 @@ def cache_dir() -> Path:
     return Path(env) if env else DEFAULT_CACHE_DIR
 
 
-def cache_max_bytes() -> Optional[int]:
-    """Size bound from ``REPRO_CACHE_MAX_MB`` (None = unbounded)."""
+_warned_bad_max_mb = False
+
+
+def cache_max_bytes(strict: bool = True) -> Optional[int]:
+    """Size bound from ``REPRO_CACHE_MAX_MB`` (None = unbounded).
+
+    ``strict=True`` (startup validation) raises :class:`ConfigError` on
+    a malformed value. The store path passes ``strict=False``: a bad
+    knob must not fail a point that has already fully simulated, so it
+    degrades to a once-per-process warning with pruning skipped.
+    """
+    global _warned_bad_max_mb
     env = os.environ.get("REPRO_CACHE_MAX_MB")
     if not env:
         return None
     try:
         mb = float(env)
     except ValueError:
-        raise ConfigError(f"REPRO_CACHE_MAX_MB must be a number, got {env!r}")
-    if mb <= 0:
-        raise ConfigError("REPRO_CACHE_MAX_MB must be > 0")
+        mb = None
+    if mb is None or mb <= 0:
+        if strict:
+            if mb is None:
+                raise ConfigError(
+                    f"REPRO_CACHE_MAX_MB must be a number, got {env!r}"
+                )
+            raise ConfigError("REPRO_CACHE_MAX_MB must be > 0")
+        if not _warned_bad_max_mb:
+            _warned_bad_max_mb = True
+            from repro.obs.events import get_event_log
+
+            get_event_log().warning(
+                "pointcache.bad_max_mb",
+                value=env,
+                action="size pruning skipped",
+            )
+        return None
     return int(mb * 1024 * 1024)
 
 
@@ -183,7 +221,7 @@ def store(fp: str, value: Any) -> None:
         except OSError:
             pass
         raise
-    limit = cache_max_bytes()
+    limit = cache_max_bytes(strict=False)
     if limit is not None:
         prune(limit)
 
@@ -192,33 +230,63 @@ def store(fp: str, value: Any) -> None:
 
 
 def _entries() -> List[Tuple[Path, float, int]]:
-    """Every cache entry as (path, mtime, size); unstat-able files skipped."""
+    """Every evictable entry (point pickles + warm-state snapshots) as
+    (path, mtime, size); unstat-able files skipped."""
     root = cache_dir()
     out: List[Tuple[Path, float, int]] = []
     if not root.is_dir():
         return out
-    for path in root.rglob("*.pkl"):
+    for pattern in ("*.pkl", "*.snap"):
+        for path in root.rglob(pattern):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((path, st.st_mtime, st.st_size))
+    return out
+
+
+def _tmp_bytes() -> int:
+    """Bytes held by ``*.tmp`` writer temp files anywhere in the cache.
+
+    Counted toward the size budget (a crash-orphaned temp occupies real
+    disk) but never chosen as a prune victim — GC collects them once
+    they age past :data:`TMP_MAX_AGE_S`.
+    """
+    root = cache_dir()
+    if not root.is_dir():
+        return 0
+    total = 0
+    for path in root.rglob("*.tmp"):
         try:
-            st = path.stat()
+            total += path.stat().st_size
         except OSError:
             continue
-        out.append((path, st.st_mtime, st.st_size))
-    return out
+    return total
 
 
 def prune(max_bytes: int) -> List[Path]:
     """Delete oldest-mtime entries until the cache fits ``max_bytes``.
 
-    Returns the removed paths. Races with concurrent stores are benign:
-    a vanished file is skipped, and the worst case is a transiently
-    over-budget cache that the next store prunes again.
+    Returns the removed paths. Races with concurrent stores and loads
+    are benign: each victim is re-statted immediately before unlinking,
+    so a file that vanished is just discounted and an entry a
+    concurrent hit refreshed since the scan (``load`` bumps mtime) is
+    skipped rather than evicted out of LRU order.
     """
     entries = sorted(_entries(), key=lambda e: e[1])  # oldest first
-    total = sum(size for _, _, size in entries)
+    total = sum(size for _, _, size in entries) + _tmp_bytes()
     removed: List[Path] = []
-    for path, _mtime, size in entries:
+    for path, mtime, size in entries:
         if total <= max_bytes:
             break
+        try:
+            st = path.stat()
+        except OSError:
+            total -= size  # vanished concurrently: no longer occupies space
+            continue
+        if st.st_mtime > mtime:
+            continue  # touched since the scan (cache hit): not LRU anymore
         try:
             path.unlink()
         except OSError:
@@ -229,33 +297,49 @@ def prune(max_bytes: int) -> List[Path]:
 
 
 def stats() -> Dict[str, Any]:
-    """Cache composition: per-generation entry counts/bytes + totals."""
+    """Cache composition: per-generation entry counts/bytes + totals.
+
+    Snapshots count as entries of the generation that owns them; writer
+    temp files are reported (and included in ``total_bytes``) as
+    ``tmp_bytes`` so crash orphans are visible before GC collects them.
+    """
     current = code_salt()[:GENERATION_CHARS]
+    root = cache_dir()
     generations: Dict[str, Dict[str, Any]] = {}
     for path, _mtime, size in _entries():
-        name = path.parent.name if path.parent != cache_dir() else "(flat)"
+        rel = path.relative_to(root)
+        name = rel.parts[0] if len(rel.parts) > 1 else "(flat)"
         gen = generations.setdefault(
             name, {"entries": 0, "bytes": 0, "current": name == current}
         )
         gen["entries"] += 1
         gen["bytes"] += size
+    tmp_bytes = _tmp_bytes()
     return {
-        "cache_dir": str(cache_dir()),
+        "cache_dir": str(root),
         "current_generation": current,
         "generations": generations,
         "total_entries": sum(g["entries"] for g in generations.values()),
-        "total_bytes": sum(g["bytes"] for g in generations.values()),
+        "total_bytes": sum(g["bytes"] for g in generations.values())
+        + tmp_bytes,
+        "tmp_bytes": tmp_bytes,
         "max_bytes": cache_max_bytes(),
     }
 
 
-def gc(max_bytes: Optional[int] = None) -> Dict[str, Any]:
+def gc(
+    max_bytes: Optional[int] = None, tmp_max_age_s: float = TMP_MAX_AGE_S
+) -> Dict[str, Any]:
     """Delete orphaned generations, then apply the size bound.
 
     Orphans are entry directories whose name is not the current code
-    salt (plus stray ``*.pkl``/``*.tmp`` files at the cache root, left
-    by the pre-generation layout or by crashed writers). ``max_bytes``
-    defaults to ``REPRO_CACHE_MAX_MB``; None skips size pruning.
+    salt (plus stray ``*.pkl``/``*.snap``/``*.tmp`` files at the cache
+    root, left by the pre-generation layout or by crashed writers).
+    ``*.tmp`` files *inside* the surviving generation — crash leftovers
+    of ``store``/``store_state``'s ``mkstemp`` — are collected too once
+    older than ``tmp_max_age_s``, so a writer mid-dump is never raced.
+    ``max_bytes`` defaults to ``REPRO_CACHE_MAX_MB``; None skips size
+    pruning.
     """
     root = cache_dir()
     current = code_salt()[:GENERATION_CHARS]
@@ -266,12 +350,21 @@ def gc(max_bytes: Optional[int] = None) -> Dict[str, Any]:
             if child.is_dir() and child.name != current:
                 shutil.rmtree(child, ignore_errors=True)
                 removed_generations.append(child.name)
-            elif child.is_file() and child.suffix in (".pkl", ".tmp"):
+            elif child.is_file() and child.suffix in (".pkl", ".snap", ".tmp"):
                 try:
                     child.unlink()
                     removed_files += 1
                 except OSError:
                     pass
+        now = time.time()
+        for tmp in root.rglob("*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime < tmp_max_age_s:
+                    continue
+                tmp.unlink()
+                removed_files += 1
+            except OSError:
+                pass
     if max_bytes is None:
         max_bytes = cache_max_bytes()
     pruned = prune(max_bytes) if max_bytes is not None else []

@@ -30,6 +30,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.cache.hierarchy import AccessLevel
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.soa import SoaCache
 from repro.core.api import Sweeper
 from repro.engine.batch import build_hierarchy, resolve_engine
 from repro.errors import ConfigError
@@ -81,6 +83,15 @@ class TraceConfig:
     #: nontrivial arrival signal to infer. Participates in the
     #: point-cache fingerprint like ``observer``.
     burst: Optional[BurstProfile] = None
+    #: DDIO way count applied at the warmup->measure boundary (None =
+    #: the system-wide ``nic.ddio_ways`` throughout). This is the
+    #: measure-phase knob that lets a way-mask sweep share one warmup:
+    #: warmup runs with the system's mask, then the mask narrows/widens
+    #: to ``range(measure_ddio_ways)`` right after the stats reset — on
+    #: the snapshot and no-snapshot paths alike, so restored and
+    #: re-simulated points are bit-identical by construction. Requires a
+    #: DDIO-family policy (the DMA/ideal policies ignore the mask).
+    measure_ddio_ways: Optional[int] = None
 
     def make_policy(self) -> InjectionPolicy:
         return make_policy(self.policy, self.system.nic.ddio_ways)
@@ -131,6 +142,70 @@ class TraceResult:
         return self.traffic.get(category) / self.requests
 
 
+#: schema version of the warm-state blob; bump on any layout change so
+#: stale snapshots degrade to misses instead of bad restores. The blob
+#: is also code-salted through its fingerprint path, so this only
+#: matters for hand-fed states in tests.
+WARM_STATE_VERSION = 1
+
+
+def _capture_cache(cache) -> Dict[str, object]:
+    """Picklable copy of one cache's mutable state (stats excluded —
+    they are reset at the warmup->measure boundary anyway)."""
+    if isinstance(cache, SoaCache):
+        return {
+            "cls": "soa",
+            "tags": cache.tags.copy(),
+            "dirty": cache.dirty.copy(),
+            "kind": cache.kind.copy(),
+            "stamp": cache.stamp.copy(),
+            "tick": int(cache.tick[0]),
+            "lcg": int(cache.lcg[0]),
+        }
+    return {
+        "cls": "object",
+        "maps": [dict(m) for m in cache._maps],
+        "tags": list(cache._tags),
+        "dirty": bytes(cache._dirty),
+        "kind": bytes(cache._kind),
+        "lcg": cache._lcg,
+    }
+
+
+def _cache_state_matches(cache, st) -> bool:
+    try:
+        if isinstance(cache, SoaCache):
+            return st["cls"] == "soa" and len(st["tags"]) == len(cache.tags)
+        return (
+            st["cls"] == "object"
+            and len(st["maps"]) == cache.num_sets
+            and len(st["tags"]) == len(cache._tags)
+        )
+    except (KeyError, TypeError):
+        return False
+
+
+def _restore_cache(cache, st) -> None:
+    if isinstance(cache, SoaCache):
+        # In place: the batch engine's native context holds raw pointers
+        # into these arrays (see SoaCache.clear), so the buffers must
+        # never be rebound.
+        cache.tags[:] = st["tags"]
+        cache.dirty[:] = st["dirty"]
+        cache.kind[:] = st["kind"]
+        cache.stamp[:] = st["stamp"]
+        cache.tick[0] = st["tick"]
+        cache.lcg[0] = st["lcg"]
+    else:
+        # Copies, not references: the state dict must stay reusable if
+        # the caller restores the same in-memory blob into another sim.
+        cache._maps = [dict(m) for m in st["maps"]]
+        cache._tags = list(st["tags"])
+        cache._dirty = bytearray(st["dirty"])
+        cache._kind = bytearray(st["kind"])
+        cache._lcg = st["lcg"]
+
+
 class TraceSimulator:
     """Drives the per-request loop over the cache hierarchy."""
 
@@ -163,6 +238,20 @@ class TraceSimulator:
         self.policy = cfg.make_policy()
         if isinstance(self.policy, DdioPolicy):
             self.policy.bind(self.hier)
+        if cfg.measure_ddio_ways is not None:
+            if not isinstance(self.policy, DdioPolicy):
+                raise ConfigError(
+                    "measure_ddio_ways requires a DDIO-family policy, "
+                    f"got {cfg.policy!r}"
+                )
+            if not 1 <= cfg.measure_ddio_ways <= system.llc.ways:
+                raise ConfigError(
+                    f"measure_ddio_ways must be in 1..{system.llc.ways}, "
+                    f"got {cfg.measure_ddio_ways}"
+                )
+        #: True when the measured window was forked off a restored
+        #: warm-state snapshot instead of a simulated warmup.
+        self.warm_restored = False
         self.rx_rings, self.tx_rings = build_rings(
             self.space,
             system.cpu.num_cores,
@@ -353,8 +442,130 @@ class TraceSimulator:
         self.sweeper.stats.reset()
         self.nic.nic_sweeps = 0
 
-    def run(self) -> TraceResult:
-        """Warm up, measure, and return per-request statistics."""
+    # ------------------------------------------------------------------
+    # warm-state snapshots (DESIGN.md §14)
+    # ------------------------------------------------------------------
+
+    def capture_warm_state(self) -> Optional[Dict[str, object]]:
+        """Picklable end-of-warmup state, or None when not capturable.
+
+        Everything reset at the warmup->measure boundary (traffic,
+        cache/sweeper stats, level counts, CPU cycles, NIC sweep count)
+        is deliberately excluded. QueuePair completion queues are too:
+        they accumulate one entry per request, nothing ever reads them,
+        and carrying them would bloat every snapshot — the restored
+        sim's empty CQ is observably identical. Subclasses (collocation,
+        dynamic ways) carry extra state this blob does not model, so
+        only the base simulator captures.
+        """
+        if type(self) is not TraceSimulator or self.observer is not None:
+            return None
+        if any(qp.wq for qp in self.qps):
+            return None  # not at a request boundary
+        hier = self.hier
+        return {
+            "version": WARM_STATE_VERSION,
+            "engine": self.engine,
+            "caches": [
+                _capture_cache(c) for c in (*hier.l1s, *hier.l2s, hier.llc)
+            ],
+            "ddio_way_mask": tuple(hier.ddio_way_mask),
+            "core_fill_masks": list(hier._core_fill_masks),
+            "rx": [(r.head, r.tail, r.drops, r.posted) for r in self.rx_rings],
+            "tx": [t._next for t in self.tx_rings],
+            "nic_transmissions": self.nic.transmissions,
+            "backlog_target": self.backlog.target_depth,
+            "workload": self.cfg.workload,
+            "policy": self.policy,
+        }
+
+    def restore_warm_state(self, state) -> bool:
+        """Adopt a captured warm state; True on success.
+
+        All-or-nothing: every field is validated against this
+        simulator's geometry *before* anything is mutated, because a
+        partial restore followed by a fallback warmup would corrupt the
+        bit-identity contract. The caller owns ``state`` (freshly
+        unpickled on the production path); workload/policy internals
+        are adopted by reference.
+        """
+        if type(self) is not TraceSimulator or self.observer is not None:
+            return False
+        if not isinstance(state, dict):
+            return False
+        if state.get("version") != WARM_STATE_VERSION:
+            return False
+        if state.get("engine") != self.engine:
+            return False
+        hier = self.hier
+        caches = (*hier.l1s, *hier.l2s, hier.llc)
+        try:
+            saved = state["caches"]
+            if len(saved) != len(caches):
+                return False
+            if not all(
+                _cache_state_matches(c, s) for c, s in zip(caches, saved)
+            ):
+                return False
+            mask = tuple(state["ddio_way_mask"])
+            if any(w < 0 or w >= hier.llc.ways for w in mask):
+                return False
+            fills = list(state["core_fill_masks"])
+            if len(fills) != len(hier._core_fill_masks):
+                return False
+            rx, tx = state["rx"], state["tx"]
+            if len(rx) != len(self.rx_rings) or len(tx) != len(self.tx_rings):
+                return False
+            workload, policy = state["workload"], state["policy"]
+            if type(workload) is not type(self.cfg.workload):
+                return False
+            if type(policy) is not type(self.policy):
+                return False
+            transmissions = int(state["nic_transmissions"])
+            backlog_target = int(state["backlog_target"])
+        except (KeyError, TypeError, ValueError):
+            return False
+        for cache, st in zip(caches, saved):
+            _restore_cache(cache, st)
+        hier.ddio_way_mask = mask
+        hier._core_fill_masks = [
+            None if m is None else tuple(m) for m in fills
+        ]
+        for ring, (head, tail, drops, posted) in zip(self.rx_rings, rx):
+            ring.head, ring.tail = head, tail
+            ring.drops, ring.posted = drops, posted
+        for ring, nxt in zip(self.tx_rings, tx):
+            ring._next = nxt
+        self.nic.transmissions = transmissions
+        self.backlog.target_depth = backlog_target
+        # Swap internals in place so every existing reference (the
+        # spec's workload object, nic.policy) sees the restored state.
+        self.cfg.workload.__dict__.clear()
+        self.cfg.workload.__dict__.update(workload.__dict__)
+        self.policy.__dict__.clear()
+        self.policy.__dict__.update(policy.__dict__)
+        return True
+
+    def _apply_measure_overrides(self) -> None:
+        """Measure-phase config deltas, applied right after the stats
+        reset on the snapshot and no-snapshot paths alike (bit-identity
+        by construction). Currently just the DDIO way mask."""
+        ways = self.cfg.measure_ddio_ways
+        if ways is not None:
+            self.hier.set_ddio_way_mask(range(ways))
+
+    def run(self, warm_state=None, on_warm=None) -> TraceResult:
+        """Warm up, measure, and return per-request statistics.
+
+        ``warm_state`` (a :meth:`capture_warm_state` blob, typically
+        unpickled by :mod:`repro.engine.snapshot`) replaces the warmup
+        when it restores cleanly; a mismatch falls back to a normal
+        warmup — the caller observes which via ``self.warm_restored``.
+        ``on_warm`` is called with the freshly captured state after a
+        simulated warmup (never after a restore); capture/callback
+        failures are logged, not raised — snapshots are an optimization
+        and must never fail a point.
+        """
         cfg = self.cfg
         warmup = (
             cfg.warmup_requests
@@ -368,8 +579,23 @@ class TraceSimulator:
         )
         if measure <= 0:
             raise ConfigError("measure_requests must be positive")
-        self.run_requests(warmup)
+        self.warm_restored = (
+            warm_state is not None and self.restore_warm_state(warm_state)
+        )
+        if not self.warm_restored:
+            self.run_requests(warmup)
+            if on_warm is not None:
+                try:
+                    state = self.capture_warm_state()
+                    if state is not None:
+                        on_warm(state)
+                except Exception as exc:
+                    obs_events.get_event_log().warning(
+                        "snapshot.capture_failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
         self._reset_measurements()
+        self._apply_measure_overrides()
         if self.observer is not None:
             # Prime after the stats reset so the attacker observes only
             # the measure phase; the arrival baseline is taken here too.

@@ -87,6 +87,11 @@ class PointResult:
     #: manifest-relative path of this point's prime+probe JSONL, when
     #: the point ran an observer and was freshly simulated (else None)
     probe_file: Optional[str] = None
+    #: True when the measured window was forked off a restored
+    #: warm-state snapshot (REPRO_SNAPSHOTS, DESIGN.md §14). Provenance
+    #: only — excluded from point_row like worker_id, because restored
+    #: and re-simulated points are bit-identical by contract.
+    warm_restored: bool = False
 
     @property
     def throughput_mrps(self) -> float:
@@ -239,6 +244,7 @@ def point_spec(
     observer=None,
     burst=None,
     measure_requests: Optional[int] = None,
+    measure_ddio_ways: Optional[int] = None,
 ) -> PointSpec:
     """Describe one grid point as a picklable, cacheable spec.
 
@@ -246,7 +252,10 @@ def point_spec(
     self-contained (and so fidelity knobs participate in the cache
     fingerprint). An explicit ``measure_requests`` overrides the
     settings-derived count (the figS* observers need more probes than
-    the default measure window provides).
+    the default measure window provides). ``measure_ddio_ways`` narrows
+    or widens the DDIO way mask at the warmup->measure boundary only —
+    the knob that lets a way-mask sweep share one warmup snapshot
+    (DESIGN.md §14).
     """
     settings = settings if settings is not None else ExperimentSettings()
     if measure_requests is None:
@@ -272,6 +281,7 @@ def point_spec(
         measure_requests=measure_requests,
         observer=observer,
         burst=burst,
+        measure_ddio_ways=measure_ddio_ways,
     )
 
 

@@ -71,6 +71,7 @@ _ENV_KEYS = (
     "REPRO_ENGINE",
     "REPRO_BATCH_BACKEND",
     "REPRO_NATIVE_DIR",
+    "REPRO_SNAPSHOTS",
 )
 
 
@@ -138,6 +139,13 @@ class PointRecord:
     attempts: int = 1  # how many times the point was tried
     #: cluster worker that simulated the point (None = local / cached).
     worker_id: Optional[str] = None
+    #: hash of the config prefix up to end-of-warmup (DESIGN.md §14);
+    #: None for observer points, which opt out of warm-state sharing.
+    warmup_fingerprint: Optional[str] = None
+    #: True when the measured window was forked off a restored
+    #: warm-state snapshot instead of a simulated warmup. Defaulted so
+    #: pre-snapshot manifests still load.
+    warm_restored: bool = False
 
 
 @dataclass

@@ -56,7 +56,7 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Tuple
 
-from repro.engine import pointcache
+from repro.engine import pointcache, snapshot
 from repro.errors import ConfigError
 from repro.engine.parallel import (
     backoff_delay,
@@ -106,6 +106,9 @@ class JobScheduler:
             raise ConfigError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
             )
+        # Fail fast on a malformed size knob at daemon startup — the
+        # store path deliberately degrades to a warning (DESIGN.md §14).
+        pointcache.cache_max_bytes()
         self.workers = workers if workers is not None else default_workers()
         self.queue_limit = queue_limit
         self.max_concurrent_jobs = max_concurrent_jobs
@@ -553,12 +556,16 @@ class JobScheduler:
 
         try:
             # Acquire everything up front so identical points across the
-            # job dedup onto one simulation.
+            # job dedup onto one simulation. Warmup-group leaders are
+            # acquired (and therefore submitted) first so the shared
+            # warm-state snapshot likely exists by the time a follower
+            # simulates — opportunistic, unlike run_points' hard gating:
+            # a follower that races its leader just warms up normally.
             acquired: List[Optional[Tuple]] = [None] * total
-            for index, spec in enumerate(specs):
+            for index in snapshot.leader_order(specs):
                 if interrupted():
                     break
-                acquired[index] = self._acquire_point(spec, run_dir_arg)
+                acquired[index] = self._acquire_point(specs[index], run_dir_arg)
                 attempts[index] = 1
             for index, spec in enumerate(specs):
                 if interrupted() or errors:

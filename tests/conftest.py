@@ -104,6 +104,7 @@ def _isolate_observability(tmp_path_factory):
         "REPRO_CLUSTER_POLL_S",
         "REPRO_CLUSTER_WORKER",
         "REPRO_SERVE_TIMEOUT_S",
+        "REPRO_SNAPSHOTS",
     ):
         mp.delenv(var, raising=False)
     yield
