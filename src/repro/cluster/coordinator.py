@@ -31,31 +31,74 @@ Lease state machine (DESIGN.md §10)::
        |                  `--release (worker drain)--> requeued (free)
        `------------------------------------------------'
 
-Locking: the coordinator has one lock for its tables. Futures are
-**never** resolved while holding it — ``set_result`` runs done
-callbacks inline, and the scheduler's callback takes the scheduler
-lock, so resolving under the coordinator lock would deadlock against a
-job thread that holds the scheduler lock while enqueuing
-(:meth:`submit` is called from ``_acquire_point``).
+Sharding and fairness (DESIGN.md §15): the pending queue and the lease
+table are split over ``REPRO_SCHED_SHARDS`` shards, each with its own
+lock. A point lives in the shard of its fingerprint prefix
+(``int(fp[:2], 16) % nshards``); a lease lives in the shard of its
+first point's fingerprint, encoded into the lease id
+(``lease-<shard>-<hex>``) so heartbeat/complete/fail route without a
+global lock. Each shard's pending queue is a
+:class:`repro.sched.policy.PolicyQueue`, so with ``wfq`` the fleet's
+point dispatch is weighted-fair across tenants. Stats and metrics
+aggregate across shards.
+
+Speculative execution (DESIGN.md §15): every simulation is
+bit-identical regardless of worker, so duplicating a leased point is
+always safe. Once :class:`repro.sched.speculate.DurationTracker` has a
+baseline, the monitor re-enqueues a duplicate of any leased point
+older than the percentile-based delay (at most one duplicate per
+point); whichever upload lands first resolves the future
+(*first-upload-wins*) and the loser is counted as wasted work. Live
+copies are reference-counted per fingerprint, so a lease expiry only
+fails the future when no duplicate remains in flight.
+
+Locking: shard locks never nest with each other, the worker-table
+lock, or the scheduler lock. Futures are **never** resolved while
+holding any coordinator lock — ``set_result`` runs done callbacks
+inline, and the scheduler's callback takes the scheduler lock, so
+resolving under a coordinator lock would deadlock against a job thread
+that holds the scheduler lock while enqueuing (:meth:`submit` is
+called from ``_acquire_point``).
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 import uuid
-from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.cluster import protocol
 from repro.engine import pointcache
+from repro.errors import ConfigError
 from repro.obs import events as obs_events
 from repro.obs.metrics import MetricsRegistry
+from repro.sched.policy import PolicyQueue, make_policy
+from repro.sched.speculate import DurationTracker, SpeculationConfig
+from repro.sched.tenants import DEFAULT_TENANT, TenantTable, guarded_labels
 
 #: worker states surfaced by ``GET /workers``.
 WORKER_STATES = ("idle", "working", "lost", "draining")
+
+DEFAULT_SHARDS = 4
+
+
+def shard_count() -> int:
+    """Lease/pending shard count from ``REPRO_SCHED_SHARDS`` (default 4)."""
+    raw = os.environ.get("REPRO_SCHED_SHARDS", "").strip()
+    if not raw:
+        return DEFAULT_SHARDS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_SCHED_SHARDS must be an integer, got {raw!r}")
+    if value < 1:
+        raise ConfigError("REPRO_SCHED_SHARDS must be >= 1")
+    return value
 
 
 class LeaseExpired(RuntimeError):
@@ -72,15 +115,22 @@ class WorkerLeaseError(RuntimeError):
 
 @dataclass
 class PendingPoint:
-    """One enqueued simulation: the spec plus the future the scheduler
-    is waiting on."""
+    """One live copy of an enqueued simulation: the spec plus the future
+    the scheduler is waiting on. Speculation may create a second copy
+    sharing the same future."""
 
     fingerprint: str
     spec: Any
     run_dir: Optional[str]
     future: Future
     enqueued_unix: float
+    tenant: str = DEFAULT_TENANT
     claimed: bool = False  # set_running_or_notify_cancel already called
+    speculative: bool = False  # a straggler duplicate, not the original
+    #: global submission order; granted batches are sorted by it so a
+    #: lease's points run in arrival order (batch *membership* is the
+    #: policy's call, order within one worker's batch is not).
+    seq: int = 0
 
 
 @dataclass
@@ -138,8 +188,25 @@ class WorkerInfo:
         }
 
 
+class _Shard:
+    """One slice of the pending queue + lease table, with its own lock.
+
+    ``refs`` counts live copies per fingerprint (queued or leased);
+    ``speculated`` remembers fingerprints that already have a duplicate
+    so a straggler is speculated at most once.
+    """
+
+    def __init__(self, index: int, queue: PolicyQueue) -> None:
+        self.index = index
+        self.lock = threading.Lock()
+        self.queue = queue
+        self.leases: Dict[str, Lease] = {}
+        self.refs: Dict[str, int] = {}
+        self.speculated: Set[str] = set()
+
+
 class ClusterCoordinator:
-    """Lease table + pending queue behind the scheduler's cluster backend."""
+    """Sharded lease table + pending queues behind the cluster backend."""
 
     def __init__(
         self,
@@ -147,6 +214,10 @@ class ClusterCoordinator:
         lease_ttl: Optional[float] = None,
         heartbeat: Optional[float] = None,
         batch: Optional[int] = None,
+        shards: Optional[int] = None,
+        policy: Optional[str] = None,
+        tenants: Optional[TenantTable] = None,
+        speculation: Optional[SpeculationConfig] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.lease_ttl = (
@@ -159,10 +230,21 @@ class ClusterCoordinator:
         )
         self.batch = batch if batch is not None else protocol.batch_size()
         self.poll = protocol.poll_s()
-        self._lock = threading.Lock()
-        self._pending: Deque[PendingPoint] = deque()
+        self.tenants = tenants if tenants is not None else TenantTable.from_env()
+        self.nshards = shards if shards is not None else shard_count()
+        self._shards = [
+            _Shard(i, make_policy(policy, self.tenants))
+            for i in range(self.nshards)
+        ]
+        self.policy = self._shards[0].queue.name
+        self.speculation = (
+            speculation if speculation is not None else SpeculationConfig.from_env()
+        )
+        self._durations = DurationTracker()
+        self._dur_lock = threading.Lock()
+        self._wlock = threading.Lock()
         self._workers: Dict[str, WorkerInfo] = {}
-        self._leases: Dict[str, Lease] = {}
+        self._seq = itertools.count()
         self._draining = False
         self._stop = threading.Event()
         self._monitor: Optional[threading.Thread] = None
@@ -197,8 +279,30 @@ class ClusterCoordinator:
             "cluster_late_results_total",
             "uploads that arrived after their lease expired (cached anyway)",
         )
+        self.m_speculative = r.counter(
+            "cluster_speculative_leases_total",
+            "straggler points re-enqueued as speculative duplicates",
+        )
+        self.m_spec_wins = r.counter(
+            "cluster_speculative_wins_total",
+            "futures resolved by a speculative duplicate's upload",
+        )
+        self.m_spec_wasted = r.counter(
+            "cluster_speculative_wasted_total",
+            "duplicate uploads discarded because another copy already won",
+        )
         self._g_pending = r.gauge(
             "cluster_pending_points", "points waiting for a lease"
+        )
+        self._g_shard_pending = r.gauge(
+            "cluster_shard_pending_points",
+            "points waiting for a lease, by shard",
+            labels=("shard",),
+        )
+        self._g_tenant_pending = r.gauge(
+            "cluster_tenant_pending_points",
+            "points waiting for a lease, by tenant",
+            labels=("tenant",),
         )
         self._g_leases = r.gauge(
             "cluster_leases_active", "leases currently outstanding"
@@ -209,24 +313,80 @@ class ClusterCoordinator:
         r.register_collector(self._collect)
 
     def _collect(self, _registry: MetricsRegistry) -> None:
-        with self._lock:
-            pending = len(self._pending)
-            active = sum(
-                1 for l in self._leases.values() if l.state == "active"
+        pending = 0
+        active = 0
+        by_tenant: Dict[str, int] = {}
+        for shard in self._shards:
+            with shard.lock:
+                shard_pending = len(shard.queue)
+                for tenant, count in shard.queue.tenants_queued().items():
+                    by_tenant[tenant] = by_tenant.get(tenant, 0) + count
+                active += sum(
+                    1 for l in shard.leases.values() if l.state == "active"
+                )
+            pending += shard_pending
+            self._g_shard_pending.labels(shard=str(shard.index)).set(
+                shard_pending
             )
+        with self._wlock:
             states = {state: 0 for state in WORKER_STATES}
             for worker in self._workers.values():
                 states[worker.state()] += 1
         self._g_pending.set(pending)
         self._g_leases.set(active)
+        for tenant, count in by_tenant.items():
+            guarded_labels(self._g_tenant_pending, tenant=tenant).set(count)
         for state, count in states.items():
             self._g_workers.labels(state=state).set(count)
+
+    # -- sharding helpers -----------------------------------------------
+
+    def _shard_of(self, fingerprint: str) -> _Shard:
+        """Fingerprint-prefix shard (fingerprints are sha256 hexdigests)."""
+        try:
+            index = int(fingerprint[:2], 16) % self.nshards
+        except (TypeError, ValueError):
+            index = 0
+        return self._shards[index]
+
+    def _lease_shard(self, lease_id: str) -> Optional[_Shard]:
+        """The shard encoded in ``lease-<shard>-<hex>`` (None = unroutable)."""
+        parts = lease_id.split("-")
+        if len(parts) == 3 and parts[0] == "lease":
+            try:
+                index = int(parts[1])
+            except ValueError:
+                return None
+            if 0 <= index < self.nshards:
+                return self._shards[index]
+        return None
+
+    def _add_copy(self, fingerprint: str) -> None:
+        """Count a new live copy (caller holds the fp-shard lock)."""
+        shard = self._shard_of(fingerprint)
+        shard.refs[fingerprint] = shard.refs.get(fingerprint, 0) + 1
+
+    def _retire_copy(self, fingerprint: str) -> int:
+        """Retire one live copy; returns how many copies remain.
+
+        Takes the fingerprint's shard lock itself — callers must not
+        hold it (shard locks never nest).
+        """
+        shard = self._shard_of(fingerprint)
+        with shard.lock:
+            remaining = shard.refs.get(fingerprint, 1) - 1
+            if remaining <= 0:
+                shard.refs.pop(fingerprint, None)
+                shard.speculated.discard(fingerprint)
+                return 0
+            shard.refs[fingerprint] = remaining
+            return remaining
 
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> None:
-        """Start the lease-expiry monitor thread (idempotent)."""
-        with self._lock:
+        """Start the lease-expiry/speculation monitor thread (idempotent)."""
+        with self._wlock:
             if self._monitor is not None:
                 return
             self._monitor = threading.Thread(
@@ -252,30 +412,41 @@ class ClusterCoordinator:
         tick = max(0.05, min(0.5, self.lease_ttl / 5.0))
         while not self._stop.wait(tick):
             self.expire_stale()
+            self.speculate_stragglers()
 
     # -- scheduler side (the execution backend seam) --------------------
 
-    def submit(self, spec, run_dir: Optional[str]) -> Future:
+    def submit(
+        self, spec, run_dir: Optional[str], tenant: str = DEFAULT_TENANT
+    ) -> Future:
         """Enqueue one point; the future resolves when a worker delivers.
 
         Called by the scheduler with *its* lock held — this method only
-        touches coordinator state and never resolves a future.
+        touches one shard and never resolves a future.
         """
         future: Future = Future()
+        fingerprint = pointcache.fingerprint(spec)
         entry = PendingPoint(
-            fingerprint=pointcache.fingerprint(spec),
+            fingerprint=fingerprint,
             spec=spec,
             run_dir=run_dir,
             future=future,
             enqueued_unix=time.time(),
+            tenant=tenant,
+            seq=next(self._seq),
         )
-        with self._lock:
-            self._pending.append(entry)
+        shard = self._shard_of(fingerprint)
+        with shard.lock:
+            shard.queue.push(entry, tenant=tenant, cost=1.0)
+            shard.refs[fingerprint] = shard.refs.get(fingerprint, 0) + 1
         return future
 
     def pending_count(self) -> int:
-        with self._lock:
-            return len(self._pending)
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += len(shard.queue)
+        return total
 
     # -- worker-facing protocol handlers --------------------------------
 
@@ -308,7 +479,7 @@ class ClusterCoordinator:
             registered_unix=now,
             last_seen_unix=now,
         )
-        with self._lock:
+        with self._wlock:
             self._workers[worker.worker_id] = worker
         self.m_registered.inc()
         self._log.info(
@@ -329,7 +500,7 @@ class ClusterCoordinator:
         }
 
     def _touch(self, worker_id: str) -> WorkerInfo:
-        """Look up a worker and refresh its liveness (lock held)."""
+        """Look up a worker and refresh its liveness (worker lock held)."""
         worker = self._workers.get(worker_id)
         if worker is None:
             raise protocol.UnknownWorker(worker_id)
@@ -338,7 +509,17 @@ class ClusterCoordinator:
         return worker
 
     def lease(self, payload: Any) -> Dict[str, Any]:
-        """Handle ``POST /cluster/lease``: grant up to a batch of points."""
+        """Handle ``POST /cluster/lease``: grant up to a batch of points.
+
+        Each grant slot picks the globally next point in policy order
+        by comparing every shard queue's :meth:`peek_key` — sharding is
+        a concurrency detail and must not change *which* points are
+        granted relative to an unsharded queue. Between peek and pop a
+        racing grant may steal the head, which is benign: whatever the
+        pop actually yields is still a valid next candidate. A grant
+        may pull from several shards; the lease itself lives in the
+        shard of its first point's fingerprint.
+        """
         body = protocol.check_version(payload)
         worker_id = protocol.worker_id_of(body)
         capacity = body.get("capacity", 1)
@@ -346,36 +527,68 @@ class ClusterCoordinator:
             isinstance(capacity, int) and capacity >= 1,
             "'capacity' must be an integer >= 1",
         )
-        granted: List[PendingPoint] = []
-        with self._lock:
+        with self._wlock:
             worker = self._touch(worker_id)
-            want = min(self.batch, capacity)
-            while self._pending and len(granted) < want:
-                entry = self._pending.popleft()
+        want = min(self.batch, capacity)
+        granted: List[PendingPoint] = []
+        while len(granted) < want:
+            best_shard = None
+            best_key = None
+            for shard in self._shards:
+                with shard.lock:
+                    key = shard.queue.peek_key()
+                if key is not None and (best_key is None or key < best_key):
+                    best_key = key
+                    best_shard = shard
+            if best_shard is None:
+                break
+            with best_shard.lock:
+                entry = best_shard.queue.pop()
+                if entry is None:
+                    continue
                 if entry.future.done():
-                    continue  # cancelled or resolved while queued
+                    # Cancelled or already resolved (e.g. the other
+                    # copy won) while queued: retire this copy.
+                    remaining = best_shard.refs.get(entry.fingerprint, 1) - 1
+                    if remaining <= 0:
+                        best_shard.refs.pop(entry.fingerprint, None)
+                        best_shard.speculated.discard(entry.fingerprint)
+                    else:
+                        best_shard.refs[entry.fingerprint] = remaining
+                    continue
                 if not entry.claimed:
                     if not entry.future.set_running_or_notify_cancel():
-                        continue  # cancelled by the scheduler's timeout
+                        # cancelled by the scheduler's timeout
+                        remaining = best_shard.refs.get(entry.fingerprint, 1) - 1
+                        if remaining <= 0:
+                            best_shard.refs.pop(entry.fingerprint, None)
+                            best_shard.speculated.discard(entry.fingerprint)
+                        else:
+                            best_shard.refs[entry.fingerprint] = remaining
+                        continue
                     entry.claimed = True
                 granted.append(entry)
-            if not granted:
-                return {
-                    "protocol": protocol.PROTOCOL_VERSION,
-                    "lease_id": None,
-                    "points": [],
-                    "draining": self._draining,
-                    "poll_s": self.poll,
-                }
-            now = time.time()
-            lease = Lease(
-                lease_id=f"lease-{uuid.uuid4().hex[:10]}",
-                worker_id=worker_id,
-                entries={e.fingerprint: e for e in granted},
-                granted_unix=now,
-                deadline_unix=now + self.lease_ttl,
-            )
-            self._leases[lease.lease_id] = lease
+        granted.sort(key=lambda e: e.seq)
+        if not granted:
+            return {
+                "protocol": protocol.PROTOCOL_VERSION,
+                "lease_id": None,
+                "points": [],
+                "draining": self._draining,
+                "poll_s": self.poll,
+            }
+        now = time.time()
+        home = self._shard_of(granted[0].fingerprint)
+        lease = Lease(
+            lease_id=f"lease-{home.index}-{uuid.uuid4().hex[:10]}",
+            worker_id=worker_id,
+            entries={e.fingerprint: e for e in granted},
+            granted_unix=now,
+            deadline_unix=now + self.lease_ttl,
+        )
+        with home.lock:
+            home.leases[lease.lease_id] = lease
+        with self._wlock:
             worker.lease_ids.add(lease.lease_id)
             worker.leases_granted += 1
         self.m_leases_granted.inc()
@@ -384,6 +597,7 @@ class ClusterCoordinator:
             lease=lease.lease_id,
             worker=worker_id,
             points=len(granted),
+            speculative=sum(1 for e in granted if e.speculative),
             ttl_s=self.lease_ttl,
         )
         return {
@@ -397,6 +611,8 @@ class ClusterCoordinator:
                 {
                     "fingerprint": e.fingerprint,
                     "label": e.spec.label,
+                    "tenant": e.tenant,
+                    "speculative": e.speculative,
                     "spec": protocol.encode_payload(e.spec),
                 }
                 for e in granted
@@ -408,13 +624,18 @@ class ClusterCoordinator:
         body = protocol.check_version(payload)
         worker_id = protocol.worker_id_of(body)
         lease_ids = protocol.string_list(body, "lease_ids")
+        with self._wlock:
+            self._touch(worker_id)
         renewed: List[str] = []
         gone: List[str] = []
-        with self._lock:
-            self._touch(worker_id)
-            now = time.time()
-            for lease_id in lease_ids:
-                lease = self._leases.get(lease_id)
+        now = time.time()
+        for lease_id in lease_ids:
+            shard = self._lease_shard(lease_id)
+            if shard is None:
+                gone.append(lease_id)
+                continue
+            with shard.lock:
+                lease = shard.leases.get(lease_id)
                 if (
                     lease is None
                     or lease.worker_id != worker_id
@@ -432,7 +653,16 @@ class ClusterCoordinator:
         }
 
     def complete(self, payload: Any) -> Dict[str, Any]:
-        """Handle ``POST /cluster/complete``: results / failures / releases."""
+        """Handle ``POST /cluster/complete``: results / failures / releases.
+
+        First-upload-wins: a result whose future another copy already
+        resolved is counted as a speculative duplicate (``duplicates``
+        in the reply, ``cluster_speculative_wasted_total``), not an
+        error — the worker did real, bit-identical work that simply
+        lost the race. A failure whose fingerprint still has another
+        live copy in flight does *not* fail the future: the surviving
+        duplicate may yet deliver.
+        """
         body = protocol.check_version(payload)
         worker_id = protocol.worker_id_of(body)
         lease_id = body.get("lease_id")
@@ -447,20 +677,82 @@ class ClusterCoordinator:
             isinstance(results, list) and isinstance(failures, list),
             "'results' and 'failures' must be lists",
         )
+        with self._wlock:
+            worker = self._touch(worker_id)
 
         to_resolve: List[Tuple[PendingPoint, Any]] = []
         to_fail: List[Tuple[PendingPoint, str]] = []
         late_results: List[Tuple[str, Any]] = []
         requeue: List[PendingPoint] = []
-        with self._lock:
-            worker = self._touch(worker_id)
-            lease = self._leases.get(lease_id)
-            lease_live = (
-                lease is not None
-                and lease.worker_id == worker_id
-                and lease.state == "active"
-            )
-            entries = lease.entries if lease_live else {}
+        retired: List[PendingPoint] = []
+        duplicates = 0
+        spec_wins = 0
+        survivors = 0
+        points_done = 0
+        points_failed = 0
+        now = time.time()
+        durations: List[float] = []
+
+        shard = self._lease_shard(lease_id)
+        lease: Optional[Lease] = None
+        if shard is not None:
+            with shard.lock:
+                lease = shard.leases.get(lease_id)
+                lease_live = (
+                    lease is not None
+                    and lease.worker_id == worker_id
+                    and lease.state == "active"
+                )
+                entries = lease.entries if lease_live else {}
+                for item in results:
+                    protocol.require(
+                        isinstance(item, dict)
+                        and isinstance(item.get("fingerprint"), str)
+                        and isinstance(item.get("payload"), str),
+                        "each result needs string 'fingerprint' and 'payload'",
+                    )
+                    result = protocol.decode_payload(item["payload"])
+                    result.worker_id = worker_id
+                    fp = item["fingerprint"]
+                    entry = entries.get(fp)
+                    if entry is not None and not entry.future.done():
+                        to_resolve.append((entry, result))
+                        retired.append(entry)
+                        durations.append(now - lease.granted_unix)
+                        if entry.speculative:
+                            spec_wins += 1
+                    elif entry is not None:
+                        # The other copy already won the race.
+                        duplicates += 1
+                        retired.append(entry)
+                    else:
+                        # Lease expired or unknown: the scheduler has
+                        # moved on, but the simulation is real — cache
+                        # it so the retry becomes a cache hit.
+                        late_results.append((fp, result))
+                    points_done += 1
+                for item in failures:
+                    protocol.require(
+                        isinstance(item, dict)
+                        and isinstance(item.get("fingerprint"), str)
+                        and isinstance(item.get("error"), str),
+                        "each failure needs string 'fingerprint' and 'error'",
+                    )
+                    entry = entries.get(item["fingerprint"])
+                    points_failed += 1
+                    if entry is not None:
+                        retired.append(entry)
+                        if not entry.future.done():
+                            to_fail.append((entry, item["error"]))
+                for fp in released:
+                    entry = entries.get(fp)
+                    if entry is not None and not entry.future.done():
+                        requeue.append(entry)
+                if lease_live:
+                    lease.state = "failed" if to_fail else "done"
+                    lease.entries = {}
+        else:
+            lease_live = False
             for item in results:
                 protocol.require(
                     isinstance(item, dict)
@@ -470,46 +762,55 @@ class ClusterCoordinator:
                 )
                 result = protocol.decode_payload(item["payload"])
                 result.worker_id = worker_id
-                fp = item["fingerprint"]
-                entry = entries.get(fp)
-                if entry is not None and not entry.future.done():
-                    to_resolve.append((entry, result))
-                else:
-                    # Lease expired (or a duplicate): the scheduler has
-                    # moved on, but the simulation is real — cache it so
-                    # the retry becomes a cache hit instead of a rerun.
-                    late_results.append((fp, result))
-                worker.points_done += 1
-            for item in failures:
-                protocol.require(
-                    isinstance(item, dict)
-                    and isinstance(item.get("fingerprint"), str)
-                    and isinstance(item.get("error"), str),
-                    "each failure needs string 'fingerprint' and 'error'",
-                )
-                entry = entries.get(item["fingerprint"])
-                worker.points_failed += 1
-                if entry is not None and not entry.future.done():
-                    to_fail.append((entry, item["error"]))
-            for fp in released:
-                entry = entries.get(fp)
-                if entry is not None and not entry.future.done():
-                    requeue.append(entry)
-            if lease_live:
-                lease.state = "failed" if to_fail else "done"
-                lease.entries = {}
-                worker.lease_ids.discard(lease_id)
-            for entry in requeue:
-                # Returned unstarted by a draining worker: back to the
-                # front of the queue, no attempt charged, same future.
-                self._pending.appendleft(entry)
+                late_results.append((item["fingerprint"], result))
+                points_done += 1
+            points_failed += len(failures)
 
-        # Outside the lock: resolve futures (runs scheduler callbacks).
+        # Retire the consumed copies (takes per-fingerprint shard
+        # locks — the lease-shard lock is released above). A failure
+        # whose fingerprint still has a live copy is downgraded to a
+        # survivor: the duplicate in flight may still deliver.
+        still_alive: Set[str] = set()
+        for entry in retired:
+            if self._retire_copy(entry.fingerprint) > 0:
+                still_alive.add(entry.fingerprint)
+        kept_fail: List[Tuple[PendingPoint, str]] = []
+        for entry, error in to_fail:
+            if entry.fingerprint in still_alive:
+                survivors += 1
+            else:
+                kept_fail.append((entry, error))
+        to_fail = kept_fail
+        for entry in requeue:
+            # Returned unstarted by a draining worker: requeued in
+            # policy order, no attempt charged, same future, same copy
+            # (refs unchanged).
+            entry_shard = self._shard_of(entry.fingerprint)
+            with entry_shard.lock:
+                entry_shard.queue.push(entry, tenant=entry.tenant, cost=1.0)
+
+        with self._wlock:
+            worker.points_done += points_done
+            worker.points_failed += points_failed
+            if lease_live:
+                worker.lease_ids.discard(lease_id)
+        if durations:
+            with self._dur_lock:
+                for seconds in durations:
+                    self._durations.record(seconds)
+
+        # Outside the locks: resolve futures (runs scheduler callbacks).
+        resolved = 0
         for entry, result in to_resolve:
             try:
                 entry.future.set_result(result)
+                resolved += 1
             except InvalidStateError:
-                late_results.append((entry.fingerprint, result))
+                # Concurrent first-upload-wins race with another lease's
+                # complete(): the other copy landed first.
+                duplicates += 1
+                if entry.speculative:
+                    spec_wins -= 1
         for entry, error in to_fail:
             try:
                 entry.future.set_exception(
@@ -525,12 +826,16 @@ class ClusterCoordinator:
                     pass  # a failed store is only a lost cache entry
         if late_results:
             self.m_late_results.inc(len(late_results))
-        if to_resolve:
-            self.m_points_remote.inc(len(to_resolve))
+        if resolved:
+            self.m_points_remote.inc(resolved)
         if to_fail:
             self.m_point_failures.inc(len(to_fail))
         if requeue:
             self.m_points_released.inc(len(requeue))
+        if duplicates:
+            self.m_spec_wasted.inc(duplicates)
+        if spec_wins > 0:
+            self.m_spec_wins.inc(spec_wins)
         self._log.info(
             "cluster.lease.complete",
             lease=lease_id,
@@ -539,13 +844,15 @@ class ClusterCoordinator:
             failures=len(failures),
             released=len(released),
             late=len(late_results),
+            duplicates=duplicates,
             accepted=lease_live,
         )
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "accepted": lease_live,
-            "resolved": len(to_resolve),
+            "resolved": resolved,
             "late": len(late_results),
+            "duplicates": duplicates,
         }
 
     def fail(self, payload: Any) -> Dict[str, Any]:
@@ -558,20 +865,28 @@ class ClusterCoordinator:
             isinstance(lease_id, str) and bool(lease_id),
             "'lease_id' must be a non-empty string",
         )
-        to_fail: List[PendingPoint] = []
-        with self._lock:
+        with self._wlock:
             worker = self._touch(worker_id)
-            lease = self._leases.get(lease_id)
-            if (
-                lease is not None
-                and lease.worker_id == worker_id
-                and lease.state == "active"
-            ):
-                to_fail = [
-                    e for e in lease.entries.values() if not e.future.done()
-                ]
-                lease.state = "failed"
-                lease.entries = {}
+        candidates: List[PendingPoint] = []
+        shard = self._lease_shard(lease_id)
+        if shard is not None:
+            with shard.lock:
+                lease = shard.leases.get(lease_id)
+                if (
+                    lease is not None
+                    and lease.worker_id == worker_id
+                    and lease.state == "active"
+                ):
+                    candidates = list(lease.entries.values())
+                    lease.state = "failed"
+                    lease.entries = {}
+        to_fail: List[PendingPoint] = []
+        for entry in candidates:
+            remaining = self._retire_copy(entry.fingerprint)
+            if not entry.future.done() and remaining == 0:
+                to_fail.append(entry)
+        with self._wlock:
+            if candidates:
                 worker.lease_ids.discard(lease_id)
                 worker.points_failed += len(to_fail)
         for entry in to_fail:
@@ -592,32 +907,46 @@ class ClusterCoordinator:
         )
         return {"protocol": protocol.PROTOCOL_VERSION, "failed": len(to_fail)}
 
-    # -- expiry ---------------------------------------------------------
+    # -- expiry + speculation -------------------------------------------
 
     def expire_stale(self, now: Optional[float] = None) -> int:
         """Expire leases past their deadline; returns how many expired.
 
-        Each unresolved point fails with :class:`LeaseExpired`, which
-        the scheduler's per-point retry loop converts into a charged
-        attempt + re-enqueue — the "requeue" of the lease state machine.
+        Each unresolved point *without a live duplicate* fails with
+        :class:`LeaseExpired`, which the scheduler's per-point retry
+        loop converts into a charged attempt + re-enqueue. A point
+        whose speculative duplicate is still in flight survives the
+        expiry untouched — the duplicate is the retry.
         """
         now = time.time() if now is None else now
         expired: List[Lease] = []
+        candidates: List[PendingPoint] = []
+        lost_workers: Dict[str, str] = {}
+        for shard in self._shards:
+            with shard.lock:
+                for lease in shard.leases.values():
+                    if lease.state != "active" or lease.deadline_unix > now:
+                        continue
+                    lease.state = "expired"
+                    expired.append(lease)
+                    candidates.extend(lease.entries.values())
+                    lease.entries = {}
+                    lost_workers[lease.worker_id] = lease.lease_id
+        if lost_workers:
+            with self._wlock:
+                for worker_id, _lease_id in lost_workers.items():
+                    worker = self._workers.get(worker_id)
+                    if worker is not None:
+                        worker.lost = True
+                for lease in expired:
+                    worker = self._workers.get(lease.worker_id)
+                    if worker is not None:
+                        worker.lease_ids.discard(lease.lease_id)
         to_fail: List[PendingPoint] = []
-        with self._lock:
-            for lease in self._leases.values():
-                if lease.state != "active" or lease.deadline_unix > now:
-                    continue
-                lease.state = "expired"
-                expired.append(lease)
-                to_fail.extend(
-                    e for e in lease.entries.values() if not e.future.done()
-                )
-                lease.entries = {}
-                worker = self._workers.get(lease.worker_id)
-                if worker is not None:
-                    worker.lease_ids.discard(lease.lease_id)
-                    worker.lost = True
+        for entry in candidates:
+            remaining = self._retire_copy(entry.fingerprint)
+            if not entry.future.done() and remaining == 0:
+                to_fail.append(entry)
         for lease in expired:
             self.m_lease_expired.inc()
             self._log.warning(
@@ -638,22 +967,127 @@ class ClusterCoordinator:
                 pass
         return len(expired)
 
+    def speculate_stragglers(self, now: Optional[float] = None) -> int:
+        """Re-enqueue duplicates of straggling leased points.
+
+        A leased point older than the percentile-based delay (see
+        :mod:`repro.sched.speculate`) gets one duplicate pushed back
+        into its pending shard, pre-claimed and sharing the same
+        future, so the next idle worker races the straggler. Returns
+        how many duplicates were enqueued.
+        """
+        with self._dur_lock:
+            delay = self._durations.delay_s(self.speculation)
+        if delay is None:
+            return 0
+        now = time.time() if now is None else now
+        candidates: List[PendingPoint] = []
+        for shard in self._shards:
+            with shard.lock:
+                for lease in shard.leases.values():
+                    if lease.state != "active":
+                        continue
+                    if now - lease.granted_unix <= delay:
+                        continue
+                    candidates.extend(
+                        e
+                        for e in lease.entries.values()
+                        if not e.speculative and not e.future.done()
+                    )
+        launched = 0
+        for entry in candidates:
+            shard = self._shard_of(entry.fingerprint)
+            with shard.lock:
+                if (
+                    entry.fingerprint in shard.speculated
+                    or entry.fingerprint not in shard.refs
+                    or entry.future.done()
+                ):
+                    continue
+                duplicate = PendingPoint(
+                    fingerprint=entry.fingerprint,
+                    spec=entry.spec,
+                    run_dir=entry.run_dir,
+                    future=entry.future,
+                    enqueued_unix=now,
+                    tenant=entry.tenant,
+                    claimed=True,  # the original already claimed it
+                    speculative=True,
+                    seq=next(self._seq),
+                )
+                shard.queue.push(
+                    duplicate, tenant=duplicate.tenant, cost=1.0
+                )
+                shard.refs[entry.fingerprint] += 1
+                shard.speculated.add(entry.fingerprint)
+            launched += 1
+            self._log.info(
+                "cluster.point.speculate",
+                label=entry.spec.label,
+                tenant=entry.tenant,
+                age_s=round(now - entry.enqueued_unix, 3),
+                delay_s=round(delay, 3),
+            )
+        if launched:
+            self.m_speculative.inc(launched)
+        return launched
+
     # -- introspection ---------------------------------------------------
+
+    @property
+    def _leases(self) -> Dict[str, Lease]:
+        """All leases merged across shards (tests / debugging only)."""
+        merged: Dict[str, Lease] = {}
+        for shard in self._shards:
+            with shard.lock:
+                merged.update(shard.leases)
+        return merged
 
     def workers_snapshot(self) -> List[Dict[str, Any]]:
         """Fleet listing for ``GET /workers`` (registration order)."""
         now = time.time()
-        with self._lock:
+        with self._wlock:
             workers = list(self._workers.values())
         return [w.snapshot(now) for w in workers]
 
     def stats(self) -> Dict[str, Any]:
-        with self._lock:
-            return {
-                "pending_points": len(self._pending),
-                "active_leases": sum(
-                    1 for l in self._leases.values() if l.state == "active"
-                ),
-                "workers": len(self._workers),
-                "draining": self._draining,
-            }
+        pending = 0
+        active = 0
+        shards: List[Dict[str, Any]] = []
+        tenants: Dict[str, int] = {}
+        for shard in self._shards:
+            with shard.lock:
+                shard_pending = len(shard.queue)
+                shard_active = sum(
+                    1 for l in shard.leases.values() if l.state == "active"
+                )
+                for tenant, count in shard.queue.tenants_queued().items():
+                    tenants[tenant] = tenants.get(tenant, 0) + count
+            pending += shard_pending
+            active += shard_active
+            shards.append(
+                {
+                    "shard": shard.index,
+                    "pending_points": shard_pending,
+                    "active_leases": shard_active,
+                }
+            )
+        with self._wlock:
+            workers = len(self._workers)
+        with self._dur_lock:
+            samples = len(self._durations)
+            delay = self._durations.delay_s(self.speculation)
+        return {
+            "pending_points": pending,
+            "active_leases": active,
+            "workers": workers,
+            "draining": self._draining,
+            "policy": self.policy,
+            "shards": shards,
+            "pending_by_tenant": tenants,
+            "speculation": {
+                "enabled": self.speculation.enabled,
+                "samples": samples,
+                "delay_s": delay,
+            },
+        }

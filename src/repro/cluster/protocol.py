@@ -20,7 +20,12 @@ POST      /cluster/fail            abort a whole lease with one error
 
 Every body carries ``protocol: PROTOCOL_VERSION``; a version the
 coordinator does not speak is rejected up front rather than
-half-parsed. Registration also carries the worker's
+half-parsed. Adding reply fields is compatible within a version:
+leased points carry ``tenant`` and ``speculative`` (informational —
+workers simulate duplicates exactly like originals), and the
+``complete`` reply carries ``duplicates``, the number of uploads that
+lost a first-upload-wins race against another copy of the same point
+(DESIGN.md §15). Old workers simply ignore the extra fields. Registration also carries the worker's
 :func:`repro.engine.pointcache.code_salt`: results are only
 bit-identical to a local run when coordinator and worker run the exact
 same source tree, so a salt mismatch is a hard 409 — never a silently

@@ -141,6 +141,7 @@ class WorkerAgent:
         self.poll_s = protocol.poll_s()
         self.points_done = 0
         self.points_failed = 0
+        self.points_duplicate = 0
         self.leases_done = 0
 
     # -- lifecycle ------------------------------------------------------
@@ -214,6 +215,7 @@ class WorkerAgent:
             leases=self.leases_done,
             points=self.points_done,
             failed=self.points_failed,
+            duplicates=self.points_duplicate,
             drained=self._draining,
         )
         return 0
@@ -314,7 +316,7 @@ class WorkerAgent:
             with self._lease_lock:
                 self._active_leases.discard(lease_id)
         try:
-            self.transport.complete(
+            reply = self.transport.complete(
                 protocol.complete_request(
                     self.worker_id, lease_id, results, failures, released
                 )
@@ -327,6 +329,16 @@ class WorkerAgent:
                 error=f"{type(exc).__name__}: {exc}",
             )
             return
+        # First-upload-wins: some of our uploads may have lost the race
+        # against a speculative duplicate on another worker. That is
+        # wasted work, not an error — count it so operators can see how
+        # much duplication speculation costs this worker.
+        duplicates = 0
+        if isinstance(reply, dict):
+            value = reply.get("duplicates", 0)
+            duplicates = value if isinstance(value, int) else 0
+        if duplicates:
+            self.points_duplicate += duplicates
         self._log.info(
             "cluster.lease.done",
             worker=self.worker_id,
@@ -334,6 +346,7 @@ class WorkerAgent:
             results=len(results),
             failures=len(failures),
             released=len(released),
+            duplicates=duplicates,
             wall_s=time.perf_counter() - t0,
         )
 

@@ -80,6 +80,8 @@ from repro.obs.manifest import PointRecord, RunManifest
 from repro.nic.arrivals import BurstProfile
 from repro.obs.timeline import ObsContext, write_jsonl
 from repro.params import SystemConfig
+from repro.sched.policy import make_policy
+from repro.sched.tenants import DEFAULT_TENANT
 from repro.sidechannel.observer import ObserverConfig
 from repro.workloads.base import Workload
 
@@ -427,17 +429,20 @@ def default_workers() -> int:
 
 
 def start_manifest(
-    run_label: Optional[str], workers: int
+    run_label: Optional[str], workers: int, tenant: str = DEFAULT_TENANT
 ) -> Tuple[Optional[RunManifest], Optional[Path]]:
     """Create a run manifest + run directory (None, None when disabled).
 
     Shared by :func:`run_points` and the ``repro.serve`` scheduler so a
     served job produces exactly the artifact a local run does.
+    ``tenant`` records which tenant's submission produced the run
+    (provenance; ``timeline --list`` surfaces non-default tenants).
     """
     if not obs_manifest.manifests_enabled():
         return None, None
     manifest = RunManifest.create(run_label, workers)
     manifest.code_salt = pointcache.code_salt()
+    manifest.tenant = tenant
     return manifest, obs_manifest.runs_dir() / manifest.run_id
 
 
@@ -616,6 +621,8 @@ def _run_parallel(
     attempts: List[int],
     errors: Dict[int, str],
     holds: Optional[Dict[int, List[int]]] = None,
+    policy: Optional[str] = None,
+    tenant: str = DEFAULT_TENANT,
 ) -> None:
     """Process-pool execution with crash recovery (fills the outputs).
 
@@ -639,6 +646,15 @@ def _run_parallel(
     warmup and stores the snapshot the followers then restore. Safe
     against deadlock because a leader always resolves: it is never held
     itself, and both terminal paths release its followers.
+
+    Dispatch order comes from the shared policy engine
+    (:func:`repro.sched.policy.make_policy`): ready indices are pushed
+    into a :class:`PolicyQueue` and submitted in pop order. With the
+    default ``priority`` policy (all points priority 0) this is exactly
+    the historical FIFO index order, so results stay bit-identical; the
+    seam exists so local runs obey ``REPRO_SCHED_POLICY`` like every
+    other backend. Backoff delays live outside the policy queue (a
+    ``delayed`` list) — a policy orders *runnable* work, not timers.
     """
     total = len(spec_list)
     pool = ProcessPoolExecutor(max_workers=workers)
@@ -647,14 +663,16 @@ def _run_parallel(
     owner: Dict[Future, ProcessPoolExecutor] = {}
     holds = dict(holds or {})
     held = {i for followers in holds.values() for i in followers}
-    ready: List[Tuple[float, int]] = [
-        (0.0, i) for i in range(total) if i not in held
-    ]
+    queue = make_policy(policy)
+    for i in range(total):
+        if i not in held:
+            queue.push(i, tenant=tenant)
+    delayed: List[Tuple[float, int]] = []
     done_count = 0
 
     def release_followers(i: int) -> None:
         for j in holds.pop(i, ()):
-            ready.append((0.0, j))
+            queue.push(j, tenant=tenant)
 
     def rebuild_if_current(broken: ProcessPoolExecutor) -> None:
         nonlocal pool
@@ -682,7 +700,7 @@ def _run_parallel(
         nonlocal done_count
         if not charge:
             attempts[i] -= 1  # the attempt never ran
-            ready.append((time.monotonic(), i))
+            queue.push(i, tenant=tenant)
             return
         if attempts[i] > retries:
             errors[i] = error
@@ -705,19 +723,23 @@ def _run_parallel(
             backoff_s=delay,
             error=error,
         )
-        ready.append((time.monotonic() + delay, i))
+        delayed.append((time.monotonic() + delay, i))
 
     try:
         while done_count < total:
             now = time.monotonic()
-            for entry in sorted(ready):
-                not_before, i = entry
-                if not_before <= now:
-                    ready.remove(entry)
-                    submit(i)
+            for entry in sorted(delayed):
+                if entry[0] <= now:
+                    delayed.remove(entry)
+                    queue.push(entry[1], tenant=tenant)
+            while len(queue):
+                index = queue.pop()
+                if index is None:
+                    break
+                submit(index)
             if not pending:
-                if ready:
-                    next_due = min(nb for nb, _ in ready)
+                if delayed:
+                    next_due = min(nb for nb, _ in delayed)
                     time.sleep(min(0.05, max(0.0, next_due - now)))
                     continue
                 if holds:
@@ -777,6 +799,8 @@ def run_points(
     specs: Iterable[PointSpec],
     max_workers: Optional[int] = None,
     run_label: Optional[str] = None,
+    tenant: str = DEFAULT_TENANT,
+    policy: Optional[str] = None,
 ) -> List:
     """Simulate every spec; results come back in spec order.
 
@@ -790,7 +814,10 @@ def run_points(
     ``status: failed``.
 
     ``run_label`` names the run in its manifest, event-log lines, and
-    run-directory id (figure modules pass their figure id).
+    run-directory id (figure modules pass their figure id). ``tenant``
+    is recorded in the manifest for provenance; ``policy`` selects the
+    dispatch order for the parallel path (default:
+    ``REPRO_SCHED_POLICY``, whose default preserves index order).
     """
     spec_list = list(specs)
     if not spec_list:
@@ -802,7 +829,7 @@ def run_points(
     workers = max_workers if max_workers is not None else default_workers()
     workers = min(workers, len(spec_list))
     log = obs_events.get_event_log()
-    manifest, run_dir = start_manifest(run_label, workers)
+    manifest, run_dir = start_manifest(run_label, workers, tenant=tenant)
     t0 = time.perf_counter()
     log.info(
         "run.start",
@@ -851,7 +878,7 @@ def run_points(
             _run_parallel(
                 spec_list, runner, workers, log, run_label, t0,
                 retries, backoff, timeout, results, attempts, errors,
-                holds=holds,
+                holds=holds, policy=policy, tenant=tenant,
             )
     except BaseException:
         # Unexpected abort (KeyboardInterrupt, pool setup failure, ...):

@@ -72,6 +72,13 @@ _ENV_KEYS = (
     "REPRO_BATCH_BACKEND",
     "REPRO_NATIVE_DIR",
     "REPRO_SNAPSHOTS",
+    "REPRO_SCHED_POLICY",
+    "REPRO_SCHED_SHARDS",
+    "REPRO_TENANTS",
+    "REPRO_SCHED_SPECULATE",
+    "REPRO_SCHED_SPEC_PCTL",
+    "REPRO_SCHED_SPEC_FACTOR",
+    "REPRO_SCHED_SPEC_MIN_S",
 )
 
 
@@ -166,6 +173,9 @@ class RunManifest:
     #: trace engine the run was simulated with (``REPRO_ENGINE``); the
     #: engines are bit-identical, so this is provenance, not identity.
     engine: str = "object"
+    #: tenant whose submission produced this run (DESIGN.md §15).
+    #: Defaulted so pre-tenancy manifests still load.
+    tenant: str = "default"
     points: List[PointRecord] = field(default_factory=list)
 
     @classmethod

@@ -159,6 +159,8 @@ def list_runs(root: Path) -> str:
                 extras.append("policies=" + "/".join(policies))
         if manifest.engine != "object":
             extras.append(f"engine={manifest.engine}")
+        if getattr(manifest, "tenant", "default") != "default":
+            extras.append(f"tenant={manifest.tenant}")
         if retried:
             extras.append(f"{retried} retried")
         if remote:

@@ -1,0 +1,108 @@
+"""Percentile-based straggler detection for speculative re-leasing.
+
+The cluster's lease TTL only catches *dead* workers (missed
+heartbeats). A worker that is alive but slow — overloaded host, cold
+cache, one pathological point — holds its lease until completion while
+the rest of the fleet idles. Because every simulation is bit-identical
+regardless of which worker runs it, the coordinator can instead
+*speculate*: re-enqueue a duplicate of a straggling point for the next
+idle worker and let the first upload win (DESIGN.md §15).
+
+"Straggling" is defined against observed behavior, not a constant: the
+coordinator records the duration of every completed lease's points in a
+:class:`DurationTracker`, and a leased point becomes a speculation
+candidate once its age exceeds ``percentile(p) × factor`` (floored by
+``min_delay_s``). Until ``min_samples`` durations exist there is no
+baseline and nothing speculates.
+
+Knobs (all read once at coordinator construction):
+
+* ``REPRO_SCHED_SPECULATE`` — ``0`` disables speculation (default on);
+* ``REPRO_SCHED_SPEC_PCTL`` — the percentile (default 95);
+* ``REPRO_SCHED_SPEC_FACTOR`` — delay multiplier (default 3.0);
+* ``REPRO_SCHED_SPEC_MIN_S`` — delay floor in seconds (default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import ConfigError
+
+DEFAULT_PCTL = 95.0
+DEFAULT_FACTOR = 3.0
+DEFAULT_MIN_DELAY_S = 1.0
+#: completed durations required before anything may speculate.
+MIN_SAMPLES = 3
+#: sliding window of durations kept (recent behavior beats history).
+SAMPLE_WINDOW = 512
+
+
+def _env_float(env: str, default: float, lo: float, hi: float) -> float:
+    raw = os.environ.get(env, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(f"{env} must be a number, got {raw!r}")
+    if not (lo <= value <= hi):
+        raise ConfigError(f"{env} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Straggler-detection knobs (see module doc)."""
+
+    enabled: bool = True
+    pctl: float = DEFAULT_PCTL
+    factor: float = DEFAULT_FACTOR
+    min_delay_s: float = DEFAULT_MIN_DELAY_S
+    min_samples: int = MIN_SAMPLES
+
+    @classmethod
+    def from_env(cls) -> "SpeculationConfig":
+        return cls(
+            enabled=os.environ.get("REPRO_SCHED_SPECULATE", "").strip() != "0",
+            pctl=_env_float("REPRO_SCHED_SPEC_PCTL", DEFAULT_PCTL, 1.0, 100.0),
+            factor=_env_float(
+                "REPRO_SCHED_SPEC_FACTOR", DEFAULT_FACTOR, 1.0, 1e6
+            ),
+            min_delay_s=_env_float(
+                "REPRO_SCHED_SPEC_MIN_S", DEFAULT_MIN_DELAY_S, 0.0, 1e6
+            ),
+        )
+
+
+def percentile(sorted_values, p: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    rank = max(1, int(-(-len(sorted_values) * (p / 100.0) // 1)))  # ceil
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class DurationTracker:
+    """Sliding window of completed point durations (caller-locked)."""
+
+    def __init__(self, window: int = SAMPLE_WINDOW) -> None:
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def record(self, seconds: float) -> None:
+        if seconds >= 0:
+            self._samples.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def delay_s(self, config: SpeculationConfig) -> Optional[float]:
+        """Age beyond which a leased point is a straggler; None = never
+        (speculation disabled, or not enough samples for a baseline)."""
+        if not config.enabled or len(self._samples) < config.min_samples:
+            return None
+        baseline = percentile(sorted(self._samples), config.pctl)
+        return max(config.min_delay_s, baseline * config.factor)

@@ -1,0 +1,211 @@
+"""Tenant identity, weights, quotas, and rate limits.
+
+A *tenant* is the unit of fairness and admission: every job carries one
+(``"default"`` unless the client says otherwise), and ``REPRO_TENANTS``
+configures how the fleet treats each::
+
+    REPRO_TENANTS="alice:weight=3,quota=16,rate=10;bob:weight=1"
+
+Semicolons separate tenants; each tenant is ``name`` or
+``name:knob=value,...`` with knobs:
+
+* ``weight`` — WFQ share (float > 0, default 1). A weight-3 tenant
+  gets 3× the service of a weight-1 tenant while both are backlogged.
+* ``quota`` — max jobs *queued* at once (int >= 1). Exceeding it is a
+  per-tenant 429 naming the tenant, its quota, and current usage —
+  one tenant's backlog can no longer consume the global queue. When
+  unset, the scheduler's ``queue_limit`` applies per tenant, which for
+  a single-tenant deployment reproduces the old global bound exactly.
+* ``rate`` — admission rate limit in jobs/second (float > 0, token
+  bucket with ``burst`` capacity, default burst = ceil(rate)).
+* ``burst`` — token-bucket depth for ``rate`` (int >= 1).
+
+Unlisted tenants get the defaults (weight 1, quota = queue limit, no
+rate limit) — configuration is an override, not an allow-list; the
+fleet remains one trust domain (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.obs.metrics import NULL_INSTRUMENT
+
+#: the tenant every unlabelled submission belongs to.
+DEFAULT_TENANT = "default"
+
+#: accepted tenant names: short, metric-label and log safe.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: overflow bucket used once the per-tenant metric families hit the
+#: registry's label-cardinality cap (see :func:`guarded_labels`).
+OVERFLOW_TENANT = "_overflow"
+
+
+def validate_tenant(name: Any) -> str:
+    """Return ``name`` if it is a well-formed tenant id, else raise."""
+    if not isinstance(name, str) or not _TENANT_RE.match(name):
+        raise ConfigError(
+            f"tenant must match {_TENANT_RE.pattern} (got {name!r})"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Scheduling knobs for one tenant (absent knobs mean defaults)."""
+
+    name: str
+    weight: float = 1.0
+    quota: Optional[int] = None
+    rate: Optional[float] = None
+    burst: Optional[int] = None
+
+
+def _parse_knobs(name: str, text: str) -> TenantConfig:
+    weight, quota, rate, burst = 1.0, None, None, None
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        key, sep, raw = part.partition("=")
+        if not sep:
+            raise ConfigError(
+                f"REPRO_TENANTS: tenant {name!r}: expected knob=value, "
+                f"got {part!r}"
+            )
+        try:
+            if key == "weight":
+                weight = float(raw)
+                if not weight > 0:
+                    raise ValueError
+            elif key == "quota":
+                quota = int(raw)
+                if quota < 1:
+                    raise ValueError
+            elif key == "rate":
+                rate = float(raw)
+                if not rate > 0:
+                    raise ValueError
+            elif key == "burst":
+                burst = int(raw)
+                if burst < 1:
+                    raise ValueError
+            else:
+                raise ConfigError(
+                    f"REPRO_TENANTS: tenant {name!r}: unknown knob {key!r}; "
+                    "allowed: weight, quota, rate, burst"
+                )
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"REPRO_TENANTS: tenant {name!r}: bad {key} {raw!r} "
+                "(weight/rate: number > 0; quota/burst: integer >= 1)"
+            )
+    return TenantConfig(name, weight=weight, quota=quota, rate=rate, burst=burst)
+
+
+class TenantTable:
+    """Per-tenant configuration with defaulting for unlisted tenants."""
+
+    def __init__(
+        self,
+        configs: Optional[Dict[str, TenantConfig]] = None,
+        default_quota: Optional[int] = None,
+    ) -> None:
+        self.configs: Dict[str, TenantConfig] = dict(configs or {})
+        self.default_quota = default_quota
+
+    @classmethod
+    def from_env(cls, default_quota: Optional[int] = None) -> "TenantTable":
+        """Parse ``REPRO_TENANTS`` (empty/unset -> everything defaults)."""
+        raw = os.environ.get("REPRO_TENANTS", "").strip()
+        configs: Dict[str, TenantConfig] = {}
+        for chunk in filter(None, (c.strip() for c in raw.split(";"))):
+            name, _sep, knobs = chunk.partition(":")
+            name = validate_tenant(name.strip())
+            if name in configs:
+                raise ConfigError(
+                    f"REPRO_TENANTS: tenant {name!r} configured twice"
+                )
+            configs[name] = _parse_knobs(name, knobs)
+        return cls(configs, default_quota=default_quota)
+
+    def get(self, name: str) -> TenantConfig:
+        config = self.configs.get(name)
+        if config is None:
+            config = TenantConfig(name, quota=self.default_quota)
+        elif config.quota is None and self.default_quota is not None:
+            config = TenantConfig(
+                name,
+                weight=config.weight,
+                quota=self.default_quota,
+                rate=config.rate,
+                burst=config.burst,
+            )
+        return config
+
+    def weight(self, name: str) -> float:
+        return self.get(name).weight
+
+    def names(self):
+        return sorted(self.configs)
+
+
+class TokenBucket:
+    """Thread-safe token bucket for per-tenant admission rate limits."""
+
+    def __init__(
+        self, rate: float, burst: Optional[int] = None, clock=time.monotonic
+    ) -> None:
+        if not rate > 0:
+            raise ConfigError(f"rate must be > 0, got {rate!r}")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else max(1, math.ceil(rate)))
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def allow(self, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; False means rate-limited."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens < cost:
+                return False
+            self._tokens -= cost
+            return True
+
+
+def guarded_labels(family, **labels):
+    """``family.labels(...)`` that degrades instead of crashing at the cap.
+
+    Tenant names are client-controlled, so the per-tenant metric
+    families are the one place an unbounded label could leak into the
+    registry. Past the cardinality cap this folds new tenants into one
+    ``_overflow`` series (so totals stay right). The overflow series is
+    reserved on the *first* guarded call, while there is still room —
+    a fold target created lazily at the cap would itself be over the
+    cap. If even the reservation failed (cap already full of other
+    values) the caller gets the shared null instrument — metrics
+    degrade, requests never 500.
+    """
+    overflow = {k: OVERFLOW_TENANT for k in labels}
+    try:
+        family.labels(**overflow)
+    except ConfigError:
+        pass
+    try:
+        return family.labels(**labels)
+    except ConfigError:
+        try:
+            return family.labels(**overflow)
+        except ConfigError:
+            return NULL_INSTRUMENT

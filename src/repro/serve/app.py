@@ -6,7 +6,9 @@ API (all bodies JSON unless noted):
 Method    Path                    Meaning
 ========  ======================  =======================================
 POST      /jobs                   submit a job (201; 400 bad request;
-                                  429 queue full)
+                                  429 tenant quota / rate exceeded —
+                                  the body names the tenant, its
+                                  limit, and current usage)
 GET       /jobs                   list job snapshots
 GET       /jobs/<id>              one job's state + progress
 GET       /jobs/<id>/result       finished job's result (shared schema;
@@ -46,6 +48,7 @@ from urllib.parse import parse_qs, urlparse
 from repro.errors import ConfigError
 from repro.obs import events as obs_events
 from repro.obs.metrics import MetricsRegistry
+from repro.sched.policy import POLICIES
 from repro.serve.jobs import BadRequest, parse_job_request
 from repro.serve.scheduler import (
     BACKENDS,
@@ -158,6 +161,10 @@ class ServeHandler(BaseHTTPRequestHandler):
                         "pending_points": stats["pending_points"],
                         "active_leases": stats["active_leases"],
                         "draining": stats["draining"],
+                        "policy": stats["policy"],
+                        "shards": stats["shards"],
+                        "pending_by_tenant": stats["pending_by_tenant"],
+                        "speculation": stats["speculation"],
                     },
                 )
             parts = path.strip("/").split("/")
@@ -205,7 +212,15 @@ class ServeHandler(BaseHTTPRequestHandler):
         except BadRequest as exc:
             return self._error(400, str(exc))
         except QueueFull as exc:
-            return self._error(429, str(exc))
+            # Per-tenant rejections (QuotaExceeded / RateLimited) carry
+            # structured context; surface it so clients can tell *whose*
+            # limit fired and how far over it they are.
+            body: Dict[str, Any] = {"error": str(exc)}
+            for attr in ("tenant", "quota", "rate", "usage"):
+                value = getattr(exc, attr, None)
+                if value is not None:
+                    body[attr] = value
+            return self._send(429, body)
         return self._send(201, job.snapshot())
 
     def _cluster_post(self, path: str) -> None:
@@ -260,7 +275,9 @@ class ServeHandler(BaseHTTPRequestHandler):
             "uptime_seconds": time.time() - self.server.started_unix,
             "workers": scheduler.workers,
             "backend": scheduler.backend,
+            "policy": scheduler.policy,
             "jobs": scheduler.counts(),
+            "tenants": scheduler.tenant_stats(),
         }
         if scheduler.coordinator is not None:
             payload["cluster"] = scheduler.coordinator.stats()
@@ -324,12 +341,21 @@ def main(argv=None) -> int:
         "'cluster' leases every point to repro.cluster.worker agents, "
         "'hybrid' does both (default %(default)s)",
     )
+    parser.add_argument(
+        "--policy",
+        choices=POLICIES,
+        default=None,
+        help="scheduling policy for jobs and cluster points "
+        "(default: REPRO_SCHED_POLICY or 'priority'); 'wfq' is "
+        "weighted-fair across tenants (weights via REPRO_TENANTS)",
+    )
     args = parser.parse_args(argv)
     scheduler = JobScheduler(
         workers=args.workers,
         queue_limit=args.queue_limit,
         max_concurrent_jobs=args.max_jobs,
         backend=args.backend,
+        policy=args.policy,
     )
     server = create_server(args.host, args.port, scheduler=scheduler)
     scheduler.start()
@@ -363,6 +389,7 @@ def main(argv=None) -> int:
         port=port,
         workers=scheduler.workers,
         backend=scheduler.backend,
+        policy=scheduler.policy,
         queue_limit=scheduler.queue_limit,
     )
     try:

@@ -138,12 +138,15 @@ class ServeClient:
         scale: Optional[float] = None,
         measure: Optional[float] = None,
         priority: int = 0,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"experiment": name, "priority": priority}
         if scale is not None:
             payload["scale"] = scale
         if measure is not None:
             payload["measure"] = measure
+        if tenant is not None:
+            payload["tenant"] = tenant
         return self.submit(payload)
 
     def submit_points(
@@ -151,10 +154,13 @@ class ServeClient:
         points: List[Dict[str, Any]],
         scale: Optional[float] = None,
         priority: int = 0,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"points": points, "priority": priority}
         if scale is not None:
             payload["scale"] = scale
+        if tenant is not None:
+            payload["tenant"] = tenant
         return self.submit(payload)
 
     def submit_scenario(
@@ -163,18 +169,23 @@ class ServeClient:
         scale: Optional[float] = None,
         measure: Optional[float] = None,
         priority: int = 0,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit a declarative scenario document (repro.scenario DSL).
 
         ``document`` is the parsed TOML/JSON scenario; the daemon
         compiles it server-side, so the submitted grid is exactly what
         ``python -m repro.scenario run`` would simulate locally.
+        ``tenant`` tags the job for fairness and admission (the daemon
+        defaults it to ``"default"``).
         """
         payload: Dict[str, Any] = {"scenario": document, "priority": priority}
         if scale is not None:
             payload["scale"] = scale
         if measure is not None:
             payload["measure"] = measure
+        if tenant is not None:
+            payload["tenant"] = tenant
         return self.submit(payload)
 
     def jobs(self) -> List[Dict[str, Any]]:

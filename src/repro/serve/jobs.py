@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.parallel import PointSpec
 from repro.errors import ConfigError
+from repro.sched.tenants import DEFAULT_TENANT, validate_tenant
 
 #: every state a job can be in; the last three are terminal.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -51,11 +52,13 @@ class JobRequest:
         specs: List[PointSpec],
         scale: float,
         priority: int = 0,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         self.name = name
         self.specs = specs
         self.scale = scale
         self.priority = priority
+        self.tenant = tenant
 
 
 def _number(payload: Dict[str, Any], key: str, default: float) -> float:
@@ -101,6 +104,10 @@ def parse_job_request(payload: Any) -> JobRequest:
         isinstance(priority, int) and not isinstance(priority, bool),
         "'priority' must be an integer",
     )
+    try:
+        tenant = validate_tenant(payload.get("tenant", DEFAULT_TENANT))
+    except ConfigError as exc:
+        raise BadRequest(str(exc)) from exc
     has_experiment = "experiment" in payload
     has_points = "points" in payload
     has_scenario = "scenario" in payload
@@ -138,6 +145,7 @@ def parse_job_request(payload: Any) -> JobRequest:
             compiled.specs,
             compiled.scale,
             priority=priority,
+            tenant=tenant,
         )
     if has_experiment:
         name = payload["experiment"]
@@ -155,7 +163,7 @@ def parse_job_request(payload: Any) -> JobRequest:
         _require(measure > 0, "'measure' must be > 0")
         settings = ExperimentSettings(scale=scale, measure_multiplier=measure)
         specs = SPEC_BUILDERS[name](settings)
-        return JobRequest(name, specs, scale, priority=priority)
+        return JobRequest(name, specs, scale, priority=priority, tenant=tenant)
     points = payload["points"]
     _require(
         isinstance(points, list) and points,
@@ -169,7 +177,7 @@ def parse_job_request(payload: Any) -> JobRequest:
     _require(
         len(labels) == len(set(labels)), "point labels must be unique"
     )
-    return JobRequest("points", specs, scale, priority=priority)
+    return JobRequest("points", specs, scale, priority=priority, tenant=tenant)
 
 
 class Job:
@@ -196,6 +204,7 @@ class Job:
         self.add_event(
             "job.submitted",
             name=request.name,
+            tenant=getattr(request, "tenant", DEFAULT_TENANT),
             points=len(request.specs),
             priority=request.priority,
         )
@@ -282,6 +291,7 @@ class Job:
                 "id": self.id,
                 "name": self.request.name,
                 "state": self.state,
+                "tenant": getattr(self.request, "tenant", DEFAULT_TENANT),
                 "priority": self.request.priority,
                 "error": self.error,
                 "run_id": self.run_id,

@@ -1,12 +1,20 @@
-"""Priority job scheduler with admission control and in-flight dedup.
+"""Policy-driven job scheduler with tenant admission and in-flight dedup.
 
 The scheduler owns three pieces of shared state, all guarded by one
 lock:
 
-* a **priority queue** of submitted jobs — higher ``priority`` first,
-  FIFO within a priority (heap keyed ``(-priority, seq)``). Admission
-  control bounds it: submissions beyond ``queue_limit`` waiting jobs
-  raise :class:`QueueFull`, which the HTTP layer renders as 429.
+* a **policy queue** of submitted jobs — a pluggable
+  :class:`repro.sched.policy.PolicyQueue` (``fifo | priority | wfq``,
+  selected by ``REPRO_SCHED_POLICY`` or the ``--policy`` flag; the
+  default ``priority`` reproduces the historical behavior: higher
+  ``priority`` first, FIFO within a priority). Admission control is
+  **per tenant** (DESIGN.md §15): every job carries a tenant id, and a
+  submission beyond the tenant's quota (``REPRO_TENANTS``, defaulting
+  to ``queue_limit`` per tenant) raises :class:`QuotaExceeded`; a
+  tenant with a configured ``rate`` that outruns its token bucket
+  raises :class:`RateLimited`. Both subclass :class:`QueueFull`, which
+  the HTTP layer renders as a 429 naming the tenant, its limit, and
+  current usage.
 * an **in-flight table** ``fingerprint -> Future`` keyed by
   :func:`repro.engine.pointcache.fingerprint`. When two jobs need the
   same point, the second *attaches* to the first's future instead of
@@ -43,7 +51,6 @@ stop at the next point boundary with a ``partial`` manifest.
 from __future__ import annotations
 
 import copy
-import heapq
 import threading
 import time
 from concurrent.futures import (
@@ -70,6 +77,13 @@ from repro.engine.parallel import (
 )
 from repro.obs import events as obs_events
 from repro.obs.metrics import MetricsRegistry
+from repro.sched.policy import make_policy, sched_policy
+from repro.sched.tenants import (
+    DEFAULT_TENANT,
+    TenantTable,
+    TokenBucket,
+    guarded_labels,
+)
 from repro.serve.jobs import Job, JobRequest
 
 DEFAULT_QUEUE_LIMIT = 64
@@ -84,6 +98,32 @@ BACKENDS = ("local", "cluster", "hybrid")
 
 class QueueFull(Exception):
     """Admission control rejected a submission (HTTP 429)."""
+
+
+class QuotaExceeded(QueueFull):
+    """A tenant has its full quota of jobs already queued."""
+
+    def __init__(self, tenant: str, quota: int, usage: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} quota exceeded "
+            f"({usage}/{quota} jobs queued)"
+        )
+        self.tenant = tenant
+        self.quota = quota
+        self.usage = usage
+
+
+class RateLimited(QueueFull):
+    """A tenant's submissions outran its configured admission rate."""
+
+    def __init__(self, tenant: str, rate: float, usage: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} rate limited "
+            f"(over {rate:g} jobs/s; {usage} jobs queued)"
+        )
+        self.tenant = tenant
+        self.rate = rate
+        self.usage = usage
 
 
 class UnknownJob(KeyError):
@@ -101,6 +141,8 @@ class JobScheduler:
         registry: Optional[MetricsRegistry] = None,
         simulate=run_spec,
         backend: str = "local",
+        policy: Optional[str] = None,
+        tenants: Optional[TenantTable] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ConfigError(
@@ -115,20 +157,28 @@ class JobScheduler:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._simulate = simulate
         self.backend = backend
+        self.policy = policy if policy is not None else sched_policy()
+        self.tenants = tenants if tenants is not None else TenantTable.from_env()
         self.coordinator = None
         if backend != "local":
             # Deferred import: repro.cluster.worker imports repro.serve.
             from repro.cluster.coordinator import ClusterCoordinator
 
-            self.coordinator = ClusterCoordinator(registry=self.registry)
+            self.coordinator = ClusterCoordinator(
+                registry=self.registry,
+                policy=self.policy,
+                tenants=self.tenants,
+            )
         self._embedded_agent = None
         self._embedded_thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
-        self._heap: List[Tuple[int, int, Job]] = []
-        self._seq = 0
+        self._queue = make_policy(self.policy, self.tenants)
         self._queued = 0
         self._running = 0
+        self._tenant_queued: Dict[str, int] = {}
+        self._tenant_running: Dict[str, int] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Future] = {}
         self._stopping = False
@@ -172,6 +222,29 @@ class JobScheduler:
         )
         self.m_job_seconds = r.histogram(
             "serve_job_seconds", "wall-clock seconds per finished job"
+        )
+        # Per-tenant families: the tenant label is client-controlled, so
+        # every .labels() call goes through guarded_labels (cardinality
+        # cap degrades to an _overflow series, never a crash).
+        self.m_tenant_submitted = r.counter(
+            "serve_tenant_jobs_submitted_total",
+            "jobs accepted into the queue, by tenant",
+            labels=("tenant",),
+        )
+        self.m_tenant_rejected = r.counter(
+            "serve_tenant_jobs_rejected_total",
+            "admission rejections, by tenant and reason",
+            labels=("tenant", "reason"),
+        )
+        self.m_tenant_points = r.counter(
+            "serve_tenant_points_total",
+            "points delivered to finished work, by tenant",
+            labels=("tenant",),
+        )
+        self.m_tenant_queued_g = r.gauge(
+            "serve_tenant_queued_jobs",
+            "jobs waiting in the queue, by tenant",
+            labels=("tenant",),
         )
 
     # -- lifecycle ------------------------------------------------------
@@ -305,28 +378,66 @@ class JobScheduler:
 
     # -- submission / lookup / cancel -----------------------------------
 
+    def _tenant_quota(self, tenant: str) -> int:
+        """Effective queued-jobs quota for a tenant: its configured
+        ``quota``, else ``queue_limit`` (per tenant) — which for a
+        single-tenant deployment is exactly the old global bound."""
+        config = self.tenants.get(tenant)
+        return config.quota if config.quota is not None else self.queue_limit
+
     def submit(self, request: JobRequest) -> Job:
-        """Queue a job; raises :class:`QueueFull` beyond ``queue_limit``."""
+        """Queue a job; rejections raise a :class:`QueueFull` subclass.
+
+        Admission is per tenant: a :class:`QuotaExceeded` names the
+        tenant, its quota, and how many of its jobs are already queued
+        (one tenant's backlog no longer starves admission for the
+        rest); a :class:`RateLimited` fires when a configured ``rate``
+        token bucket runs dry.
+        """
+        tenant = getattr(request, "tenant", DEFAULT_TENANT)
+        config = self.tenants.get(tenant)
         with self._lock:
-            if self._queued >= self.queue_limit:
+            usage = self._tenant_queued.get(tenant, 0)
+            if config.rate is not None:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = TokenBucket(config.rate, config.burst)
+                    self._buckets[tenant] = bucket
+                if not bucket.allow():
+                    self.m_rejected.inc()
+                    guarded_labels(
+                        self.m_tenant_rejected, tenant=tenant, reason="rate"
+                    ).inc()
+                    raise RateLimited(tenant, config.rate, usage)
+            quota = self._tenant_quota(tenant)
+            if usage >= quota:
                 self.m_rejected.inc()
-                raise QueueFull(
-                    f"queue full ({self._queued}/{self.queue_limit} jobs waiting)"
-                )
+                guarded_labels(
+                    self.m_tenant_rejected, tenant=tenant, reason="quota"
+                ).inc()
+                raise QuotaExceeded(tenant, quota, usage)
             job = Job(request)
             self._jobs[job.id] = job
-            self._seq += 1
-            heapq.heappush(
-                self._heap, (-request.priority, self._seq, job)
+            self._queue.push(
+                job,
+                tenant=tenant,
+                cost=float(max(1, len(request.specs))),
+                priority=request.priority,
             )
             self._queued += 1
+            self._tenant_queued[tenant] = usage + 1
             self.m_queue_depth.set(self._queued)
             self.m_submitted.inc()
+            guarded_labels(self.m_tenant_submitted, tenant=tenant).inc()
+            guarded_labels(self.m_tenant_queued_g, tenant=tenant).set(
+                usage + 1
+            )
             self._wake.notify_all()
         self._log.info(
             "serve.job.submitted",
             job=job.id,
             name=request.name,
+            tenant=tenant,
             points=len(request.specs),
             priority=request.priority,
         )
@@ -360,10 +471,11 @@ class JobScheduler:
         with self._lock:
             job.cancel_requested = True
             if job.state == "queued" and job.finish("cancelled"):
-                # Lazy heap deletion: the dispatcher skips finished jobs.
+                # Lazy queue deletion: the dispatcher skips finished jobs.
                 claimed = True
                 self._queued -= 1
                 self.m_queue_depth.set(self._queued)
+                self._dec_tenant_queued(job.request.tenant)
         if claimed:
             self.m_finished.labels(state="cancelled").inc()
         self._log.info("serve.job.cancel", job=job.id, state=job.state)
@@ -378,6 +490,34 @@ class JobScheduler:
             out[job.state] = out.get(job.state, 0) + 1
         return out
 
+    def _dec_tenant_queued(self, tenant: str) -> None:
+        """Drop one queued job from a tenant's count (lock held)."""
+        left = self._tenant_queued.get(tenant, 1) - 1
+        if left <= 0:
+            self._tenant_queued.pop(tenant, None)
+            left = 0
+        else:
+            self._tenant_queued[tenant] = left
+        guarded_labels(self.m_tenant_queued_g, tenant=tenant).set(left)
+
+    def tenant_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant queue/run/config snapshot (for ``/healthz``)."""
+        with self._lock:
+            queued = dict(self._tenant_queued)
+            running = dict(self._tenant_running)
+        names = set(queued) | set(running) | set(self.tenants.names())
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(names):
+            config = self.tenants.get(name)
+            out[name] = {
+                "queued": queued.get(name, 0),
+                "running": running.get(name, 0),
+                "weight": config.weight,
+                "quota": self._tenant_quota(name),
+                "rate": config.rate,
+            }
+        return out
+
     # -- dispatch -------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -386,21 +526,26 @@ class JobScheduler:
                 while not self._stopping and (
                     self._draining
                     or not (
-                        self._heap
+                        len(self._queue)
                         and self._running < self.max_concurrent_jobs
                     )
                 ):
                     self._wake.wait(timeout=0.5)
                 if self._stopping:
                     return
-                _prio, _seq, job = heapq.heappop(self._heap)
-                if job.state != "queued":
+                job = self._queue.pop()
+                if job is None or job.state != "queued":
                     continue  # lazily deleted (cancelled) entry
                 # Still under the lock: once the job leaves "queued",
                 # a racing cancel() can no longer treat it as queued.
                 job.mark_running()
+                tenant = job.request.tenant
                 self._queued -= 1
                 self._running += 1
+                self._dec_tenant_queued(tenant)
+                self._tenant_running[tenant] = (
+                    self._tenant_running.get(tenant, 0) + 1
+                )
                 self.m_queue_depth.set(self._queued)
                 self.m_running_jobs.set(self._running)
                 thread = threading.Thread(
@@ -421,6 +566,12 @@ class JobScheduler:
         finally:
             with self._lock:
                 self._running -= 1
+                tenant = job.request.tenant
+                left = self._tenant_running.get(tenant, 1) - 1
+                if left <= 0:
+                    self._tenant_running.pop(tenant, None)
+                else:
+                    self._tenant_running[tenant] = left
                 self.m_running_jobs.set(self._running)
                 self._job_threads = [
                     t for t in self._job_threads
@@ -431,7 +582,7 @@ class JobScheduler:
     # -- per-job execution ----------------------------------------------
 
     def _acquire_point(
-        self, spec, run_dir: Optional[str]
+        self, spec, run_dir: Optional[str], tenant: str = DEFAULT_TENANT
     ) -> Tuple[str, Optional[object], Optional[Future], bool, int]:
         """Resolve one spec to (source, result, future, owner, gen).
 
@@ -464,10 +615,10 @@ class JobScheduler:
             if future is not None:
                 return "dedup", None, future, False, self._executor_gen
             if self.coordinator is not None:
-                # Lock order scheduler -> coordinator; submit only
+                # Lock order scheduler -> coordinator shard; submit only
                 # enqueues (it never resolves futures), so this cannot
                 # re-enter the scheduler lock.
-                future = self.coordinator.submit(spec, run_dir)
+                future = self.coordinator.submit(spec, run_dir, tenant=tenant)
             else:
                 try:
                     future = self._executor.submit(
@@ -523,8 +674,9 @@ class JobScheduler:
 
     def _run_job(self, job: Job) -> None:
         t0 = time.perf_counter()
+        tenant = getattr(job.request, "tenant", DEFAULT_TENANT)
         manifest, run_dir = start_manifest(
-            f"serve-{job.request.name}", self.workers
+            f"serve-{job.request.name}", self.workers, tenant=tenant
         )
         if manifest is not None:
             job.run_id = manifest.run_id
@@ -565,7 +717,9 @@ class JobScheduler:
             for index in snapshot.leader_order(specs):
                 if interrupted():
                     break
-                acquired[index] = self._acquire_point(specs[index], run_dir_arg)
+                acquired[index] = self._acquire_point(
+                    specs[index], run_dir_arg, tenant
+                )
                 attempts[index] = 1
             for index, spec in enumerate(specs):
                 if interrupted() or errors:
@@ -633,7 +787,7 @@ class JobScheduler:
                             time.sleep(delay)
                         attempts[index] += 1
                     source, result, future, owner, gen = (
-                        self._acquire_point(spec, run_dir_arg)
+                        self._acquire_point(spec, run_dir_arg, tenant)
                     )
                 if index in errors or (result is None and future is not None):
                     break  # permanent failure, or interrupted mid-wait
@@ -641,6 +795,7 @@ class JobScheduler:
                     break  # interrupted before a result materialized
                 results[index] = result
                 self.m_points.labels(source=source).inc()
+                guarded_labels(self.m_tenant_points, tenant=tenant).inc()
                 job.point_done(spec.label, source, result.sim_seconds)
         except BaseException:
             # Unexpected abort: still leave a finalized manifest behind

@@ -105,6 +105,13 @@ def _isolate_observability(tmp_path_factory):
         "REPRO_CLUSTER_WORKER",
         "REPRO_SERVE_TIMEOUT_S",
         "REPRO_SNAPSHOTS",
+        "REPRO_SCHED_POLICY",
+        "REPRO_SCHED_SHARDS",
+        "REPRO_TENANTS",
+        "REPRO_SCHED_SPECULATE",
+        "REPRO_SCHED_SPEC_PCTL",
+        "REPRO_SCHED_SPEC_FACTOR",
+        "REPRO_SCHED_SPEC_MIN_S",
     ):
         mp.delenv(var, raising=False)
     yield

@@ -395,12 +395,17 @@ class TestCoordinator:
         coord.submit(one_spec(1, "p1"), None)
         register(coord)
         stats = coord.stats()
-        assert stats == {
-            "pending_points": 1,
-            "active_leases": 0,
-            "workers": 1,
-            "draining": False,
-        }
+        assert stats["pending_points"] == 1
+        assert stats["active_leases"] == 0
+        assert stats["workers"] == 1
+        assert stats["draining"] is False
+        assert stats["policy"] == "priority"
+        assert stats["pending_by_tenant"] == {"default": 1}
+        # The sharded breakdown must account for every pending point.
+        assert len(stats["shards"]) == coord.nshards
+        assert sum(s["pending_points"] for s in stats["shards"]) == 1
+        assert stats["speculation"]["enabled"] is True
+        assert stats["speculation"]["delay_s"] is None  # no samples yet
         text = coord.registry.render_text()  # runs the pull collector
         assert "cluster_pending_points 1" in text
         assert 'cluster_workers{state="idle"} 1' in text

@@ -1,0 +1,597 @@
+"""Tests for the ``repro.sched`` fair-scheduling subsystem.
+
+Five layers:
+
+* policy units — fifo / priority / wfq pop order, WFQ service shares
+  within 10% of configured weights, and ``peek_key`` ordering heads of
+  sharded queues exactly like one unsharded queue;
+* tenant units — ``REPRO_TENANTS`` parsing, quota defaulting, the
+  token bucket against a fake clock;
+* metrics guard — ``guarded_labels`` folding client-controlled tenant
+  names into ``_overflow`` (then the null instrument) at the registry's
+  cardinality cap instead of crashing;
+* scheduler admission — per-tenant quota / rate 429s carrying the
+  tenant, its limit, and current usage;
+* sharded coordinator + speculation — cross-shard grants in global
+  policy order, duplicate leases for stragglers, first-upload-wins
+  with bit-identical rows, and the win/wasted counters;
+* engine seam — ``run_points(policy=..., tenant=...)`` stays
+  bit-identical to the serial path and records the tenant in the run
+  manifest and ``timeline --list``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.engine import pointcache
+from repro.engine.parallel import run_points
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    ExperimentSettings,
+    kvs_system,
+    kvs_workload,
+    point_row,
+    point_spec,
+)
+from repro.obs.manifest import RunManifest, runs_dir
+from repro.obs.metrics import NULL_INSTRUMENT, MetricsRegistry
+from repro.report.timeline import list_runs
+from repro.sched import (
+    DEFAULT_POLICY,
+    POLICIES,
+    DurationTracker,
+    SpeculationConfig,
+    TenantTable,
+    TokenBucket,
+    guarded_labels,
+    make_policy,
+    sched_policy,
+    validate_tenant,
+)
+from repro.sched.speculate import percentile
+from repro.sched.tenants import OVERFLOW_TENANT
+from repro.serve.jobs import JobRequest, parse_job_request
+from repro.serve.scheduler import JobScheduler, QuotaExceeded, RateLimited
+
+SCALE = 0.05
+SETTINGS = ExperimentSettings(scale=SCALE, measure_multiplier=0.1)
+
+
+def one_spec(seed: int, label: str = ""):
+    return point_spec(
+        label or f"s{seed}",
+        kvs_system(SCALE, 64, 2, 512),
+        kvs_workload(0.02, 512),
+        "ddio",
+        settings=SETTINGS,
+        seed=seed,
+    )
+
+
+class FakeResult:
+    """The minimal result surface the cluster path touches (picklable)."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.sim_seconds = 0.0
+        self.from_cache = False
+        self.timeline_file = None
+        self.worker_id = None
+
+
+def register(coord: ClusterCoordinator, capacity: int = 8) -> str:
+    reply = coord.register(
+        protocol.register_request(
+            code_salt=pointcache.code_salt(),
+            capacity=capacity,
+            host="testhost",
+            pid=1234,
+        )
+    )
+    return reply["worker_id"]
+
+
+def upload(coord, wid, lease_id, points):
+    return coord.complete(
+        protocol.complete_request(
+            wid,
+            lease_id,
+            [
+                {
+                    "fingerprint": p["fingerprint"],
+                    "payload": protocol.encode_payload(FakeResult(p["label"])),
+                }
+                for p in points
+            ],
+        )
+    )
+
+
+# -- policy units ---------------------------------------------------------
+
+
+class TestPolicies:
+    def test_fifo_ignores_priority_and_tenant(self):
+        q = make_policy("fifo")
+        q.push("a", tenant="t1", priority=0)
+        q.push("b", tenant="t2", priority=9)
+        q.push("c", tenant="t1", priority=-5)
+        assert [q.pop(), q.pop(), q.pop()] == ["a", "b", "c"]
+        assert q.pop() is None
+
+    def test_priority_heap_is_default_and_orders_by_priority(self):
+        assert DEFAULT_POLICY == "priority"
+        q = make_policy("priority")
+        q.push("low", priority=0)
+        q.push("high", priority=5)
+        q.push("low2", priority=0)
+        assert [q.pop(), q.pop(), q.pop()] == ["high", "low", "low2"]
+
+    def test_wfq_shares_match_weights_within_ten_percent(self):
+        tenants = TenantTable.from_env()
+        tenants.configs["alice"] = tenants.get("alice").__class__(
+            "alice", weight=3.0
+        )
+        q = make_policy("wfq", tenants)
+        # Both tenants fully backlogged: 120 unit-cost items each.
+        for i in range(120):
+            q.push(("alice", i), tenant="alice")
+            q.push(("bob", i), tenant="bob")
+        served = {"alice": 0, "bob": 0}
+        for _ in range(80):  # while both stay backlogged
+            tenant, _i = q.pop()
+            served[tenant] += 1
+        share = served["alice"] / 80
+        assert abs(share - 0.75) <= 0.10 * 0.75, served
+
+    def test_wfq_idle_tenant_cannot_bank_credit(self):
+        q = make_policy("wfq")
+        # bob works alone for a while; alice was idle, not saving up.
+        for i in range(10):
+            q.push(("bob", i), tenant="bob")
+        for _ in range(10):
+            q.pop()
+        for i in range(6):
+            q.push(("alice", i), tenant="alice")
+            q.push(("bob", 100 + i), tenant="bob")
+        first_six = [q.pop()[0] for _ in range(6)]
+        # Equal weights from here on: alice must not get a catch-up
+        # burst; service alternates.
+        assert first_six.count("alice") == 3
+
+    @pytest.mark.parametrize("name", POLICIES)
+    def test_peek_key_matches_pop_order_across_shards(self, name):
+        """Always popping the shard with the smallest peek_key yields
+        exactly the order one unsharded queue would give."""
+        tenants = TenantTable.from_env()
+        reference = make_policy(name, tenants)
+        shards = [make_policy(name, tenants) for _ in range(3)]
+        for i in range(30):
+            item = (f"t{i % 3}", i)
+            reference.push(item, tenant=item[0], priority=i % 4)
+            shards[i % 3].push(item, tenant=item[0], priority=i % 4)
+        merged = []
+        while True:
+            best = None
+            best_key = None
+            for shard in shards:
+                key = shard.peek_key()
+                if key is not None and (best_key is None or key < best_key):
+                    best_key, best = key, shard
+            if best is None:
+                break
+            merged.append(best.pop())
+        expected = []
+        while len(reference):
+            expected.append(reference.pop())
+        assert merged == expected
+
+    def test_policy_selection_and_validation(self, monkeypatch):
+        assert sched_policy() == DEFAULT_POLICY
+        monkeypatch.setenv("REPRO_SCHED_POLICY", "wfq")
+        assert sched_policy() == "wfq"
+        assert make_policy().name == "wfq"
+        monkeypatch.setenv("REPRO_SCHED_POLICY", "sjf")
+        with pytest.raises(ConfigError):
+            sched_policy()
+        with pytest.raises(ConfigError):
+            make_policy("lifo")
+
+    def test_tenants_queued_introspection(self):
+        q = make_policy("priority")
+        q.push("a", tenant="alice")
+        q.push("b", tenant="alice")
+        q.push("c", tenant="bob")
+        assert q.tenants_queued() == {"alice": 2, "bob": 1}
+
+
+# -- tenant units ---------------------------------------------------------
+
+
+class TestTenants:
+    def test_from_env_parses_knobs(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_TENANTS",
+            "alice:weight=3,quota=16,rate=10;bob:weight=1;carol:burst=2,rate=0.5",
+        )
+        table = TenantTable.from_env(default_quota=64)
+        alice = table.get("alice")
+        assert (alice.weight, alice.quota, alice.rate) == (3.0, 16, 10.0)
+        assert table.weight("bob") == 1.0
+        assert table.get("bob").quota == 64  # default_quota fills in
+        carol = table.get("carol")
+        assert (carol.rate, carol.burst) == (0.5, 2)
+        # Unlisted tenants default rather than being rejected.
+        assert table.get("mallory").weight == 1.0
+        assert table.get("mallory").quota == 64
+        assert table.names() == ["alice", "bob", "carol"]
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "alice:weight=0",
+            "alice:quota=0",
+            "alice:rate=-1",
+            "alice:burst=0",
+            "alice:speed=9",
+            "alice:weight",
+            "alice;alice",
+            "bad name:weight=1",
+        ],
+    )
+    def test_from_env_rejects_malformed(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TENANTS", raw)
+        with pytest.raises(ConfigError):
+            TenantTable.from_env()
+
+    def test_validate_tenant(self):
+        assert validate_tenant("team-a.prod_1") == "team-a.prod_1"
+        for bad in ("", "-lead", "a" * 65, "sp ace", None, 7):
+            with pytest.raises(ConfigError):
+                validate_tenant(bad)
+
+    def test_token_bucket_fake_clock(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=2, clock=lambda: now[0])
+        assert bucket.allow() and bucket.allow()
+        assert not bucket.allow()  # burst drained, no time passed
+        now[0] = 0.5  # one token refilled at 2/s
+        assert bucket.allow()
+        assert not bucket.allow()
+        now[0] = 10.0  # refill caps at burst, not rate * elapsed
+        assert bucket.allow() and bucket.allow()
+        assert not bucket.allow()
+
+    def test_token_bucket_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=0.0)
+
+
+# -- cardinality guard ----------------------------------------------------
+
+
+class TestGuardedLabels:
+    def test_degrades_to_overflow_then_null(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        family = registry.counter(
+            "serve_tenant_test_total", "per-tenant test", labels=("tenant",)
+        )
+        guarded_labels(family, tenant="alice").inc()
+        # Second slot goes to the overflow bucket; later tenants fold in.
+        guarded_labels(family, tenant="bob").inc()
+        guarded_labels(family, tenant="carol").inc()
+        text = registry.render_text()
+        assert 'tenant="alice"' in text
+        assert f'tenant="{OVERFLOW_TENANT}"' in text
+        assert 'tenant="bob"' not in text and 'tenant="carol"' not in text
+        # Totals survive the fold: alice=1, _overflow=2.
+        samples = family.samples()
+        assert sum(samples.values()) == 3
+
+    def test_null_instrument_when_cap_exhausted_by_others(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        family = registry.gauge(
+            "serve_tenant_test_gauge", "per-tenant test", labels=("tenant",)
+        )
+        family.labels(tenant="alice").set(1)
+        # Cap is full of a non-overflow value: even _overflow cannot be
+        # created, and the caller gets the shared no-op instrument.
+        got = guarded_labels(family, tenant="bob")
+        assert got is NULL_INSTRUMENT
+        got.set(5)  # must not raise
+        assert registry.render_text()  # rendering still works
+
+
+# -- scheduler admission --------------------------------------------------
+
+
+class TestAdmission:
+    def _scheduler(self, **kwargs):
+        # Never started: jobs stay queued, which is exactly what the
+        # admission tests need.
+        return JobScheduler(workers=1, registry=MetricsRegistry(), **kwargs)
+
+    def request(self, name, tenant, n=1):
+        return JobRequest(
+            name=name,
+            specs=[one_spec(i, f"{name}-{i}") for i in range(n)],
+            scale=SCALE,
+            tenant=tenant,
+        )
+
+    def test_quota_rejection_names_tenant_and_usage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TENANTS", "alice:quota=2")
+        sched = self._scheduler(tenants=TenantTable.from_env())
+        sched.submit(self.request("j1", "alice"))
+        sched.submit(self.request("j2", "alice"))
+        with pytest.raises(QuotaExceeded) as err:
+            sched.submit(self.request("j3", "alice"))
+        assert (err.value.tenant, err.value.quota, err.value.usage) == (
+            "alice", 2, 2,
+        )
+        assert "alice" in str(err.value) and "2/2" in str(err.value)
+        # Another tenant is not collateral damage of alice's backlog.
+        job = sched.submit(self.request("j4", "bob"))
+        assert job.state == "queued"
+        stats = sched.tenant_stats()
+        assert stats["alice"]["queued"] == 2
+        assert stats["bob"]["queued"] == 1
+        text = sched.registry.render_text()
+        assert (
+            'serve_tenant_jobs_rejected_total{reason="quota",tenant="alice"} 1'
+            in text
+        )
+
+    def test_per_tenant_quota_defaults_to_queue_limit(self):
+        sched = self._scheduler(queue_limit=1)
+        sched.submit(self.request("j1", "alice"))
+        with pytest.raises(QuotaExceeded):
+            sched.submit(self.request("j2", "alice"))
+        # The bound is per tenant now, not the old global 429.
+        assert sched.submit(self.request("j3", "bob")).state == "queued"
+
+    def test_rate_limit_rejection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TENANTS", "alice:rate=0.001,burst=1")
+        sched = self._scheduler(tenants=TenantTable.from_env())
+        sched.submit(self.request("j1", "alice"))
+        with pytest.raises(RateLimited) as err:
+            sched.submit(self.request("j2", "alice"))
+        assert err.value.tenant == "alice"
+        assert err.value.rate == 0.001
+        assert "rate limited" in str(err.value)
+
+    def test_parse_job_request_tenant(self):
+        payload = {
+            "name": "n",
+            "scale": SCALE,
+            "points": [{"label": "p", "policy": "ddio"}],
+            "tenant": "alice",
+        }
+        assert parse_job_request(payload).tenant == "alice"
+        del payload["tenant"]
+        assert parse_job_request(payload).tenant == "default"
+        payload["tenant"] = "no spaces"
+        from repro.serve.jobs import BadRequest
+
+        with pytest.raises(BadRequest):
+            parse_job_request(payload)
+
+
+# -- sharded coordinator + speculation ------------------------------------
+
+
+def spec_coord(**kwargs):
+    defaults = dict(
+        registry=MetricsRegistry(),
+        lease_ttl=30.0,
+        batch=4,
+        shards=4,
+        speculation=SpeculationConfig(
+            enabled=True, pctl=50.0, factor=1.0, min_delay_s=0.0, min_samples=1
+        ),
+    )
+    defaults.update(kwargs)
+    return ClusterCoordinator(**defaults)
+
+
+class TestShardedCoordinator:
+    def test_grants_follow_global_policy_order_across_shards(self):
+        coord = spec_coord(policy="fifo", batch=8)
+        specs = [one_spec(i, f"g{i}") for i in range(8)]
+        futures = [coord.submit(s, None) for s in specs]
+        # Points landed in more than one shard (else the test is vacuous).
+        spread = {coord._shard_of(pointcache.fingerprint(s)).index for s in specs}
+        assert len(spread) > 1
+        wid = register(coord)
+        grant = coord.lease(protocol.lease_request(wid, 8))
+        labels = [p["label"] for p in grant["points"]]
+        assert labels == [f"g{i}" for i in range(8)]  # submission order
+        upload(coord, wid, grant["lease_id"], grant["points"])
+        for future in futures:
+            assert future.result(timeout=1).label.startswith("g")
+
+    def test_leases_route_by_shard_id(self):
+        coord = spec_coord()
+        coord.submit(one_spec(1, "r1"), None)
+        wid = register(coord)
+        grant = coord.lease(protocol.lease_request(wid, 4))
+        shard = coord._lease_shard(grant["lease_id"])
+        assert shard is not None
+        assert grant["lease_id"] in shard.leases
+        # Heartbeat renews through the same routing.
+        before = coord._leases[grant["lease_id"]].deadline_unix
+        time.sleep(0.01)
+        reply = coord.heartbeat(
+            protocol.heartbeat_request(wid, [grant["lease_id"]])
+        )
+        assert reply["renewed"] == [grant["lease_id"]]
+        assert coord._leases[grant["lease_id"]].deadline_unix > before
+
+    def test_stats_aggregate_across_shards(self):
+        coord = spec_coord(policy="wfq")
+        for i in range(6):
+            coord.submit(one_spec(i, f"t{i}"), None, tenant="alice")
+        coord.submit(one_spec(99, "b0"), None, tenant="bob")
+        stats = coord.stats()
+        assert stats["pending_points"] == 7
+        assert stats["pending_by_tenant"] == {"alice": 6, "bob": 1}
+        assert len(stats["shards"]) == coord.nshards
+        assert sum(s["pending_points"] for s in stats["shards"]) == 7
+        text = coord.registry.render_text()
+        assert 'cluster_tenant_pending_points{tenant="alice"} 6' in text
+
+
+class TestSpeculation:
+    def test_percentile_nearest_rank(self):
+        values = sorted([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 95) == 5.0
+        assert percentile(values, 1) == 1.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_tracker_gates_on_samples_and_enable(self):
+        tracker = DurationTracker()
+        config = SpeculationConfig(min_samples=3)
+        assert tracker.delay_s(config) is None
+        for _ in range(3):
+            tracker.record(2.0)
+        assert tracker.delay_s(config) == pytest.approx(6.0)  # p95 * 3
+        disabled = SpeculationConfig(enabled=False)
+        assert tracker.delay_s(disabled) is None
+
+    def test_first_upload_wins_and_counters(self):
+        coord = spec_coord(batch=1)
+        with coord._dur_lock:
+            coord._durations.record(0.01)
+        future = coord.submit(one_spec(1, "slow"), None)
+        w1 = register(coord)
+        w2 = register(coord)
+        grant1 = coord.lease(protocol.lease_request(w1, 1))
+        assert len(grant1["points"]) == 1
+        assert grant1["points"][0]["speculative"] is False
+        # The monitor would do this; force the straggler check directly.
+        launched = coord.speculate_stragglers(now=time.time() + 60.0)
+        assert launched == 1
+        assert coord.speculate_stragglers(now=time.time() + 60.0) == 0  # once
+        grant2 = coord.lease(protocol.lease_request(w2, 1))
+        assert grant2["points"][0]["speculative"] is True
+        assert grant2["points"][0]["fingerprint"] == (
+            grant1["points"][0]["fingerprint"]
+        )
+        # Duplicate worker uploads first and wins the future.
+        reply2 = upload(coord, w2, grant2["lease_id"], grant2["points"])
+        assert (reply2["resolved"], reply2["duplicates"]) == (1, 0)
+        assert future.result(timeout=1).worker_id == w2
+        # The straggler's upload is a harmless duplicate, not an error.
+        reply1 = upload(coord, w1, grant1["lease_id"], grant1["points"])
+        assert reply1["accepted"] is True
+        assert (reply1["resolved"], reply1["duplicates"]) == (0, 1)
+        text = coord.registry.render_text()
+        assert "cluster_speculative_leases_total 1" in text
+        assert "cluster_speculative_wins_total 1" in text
+        assert "cluster_speculative_wasted_total 1" in text
+
+    def test_original_win_counts_duplicate_as_wasted(self):
+        coord = spec_coord(batch=1)
+        with coord._dur_lock:
+            coord._durations.record(0.01)
+        future = coord.submit(one_spec(2, "orig-wins"), None)
+        w1 = register(coord)
+        w2 = register(coord)
+        grant1 = coord.lease(protocol.lease_request(w1, 1))
+        assert coord.speculate_stragglers(now=time.time() + 60.0) == 1
+        grant2 = coord.lease(protocol.lease_request(w2, 1))
+        upload(coord, w1, grant1["lease_id"], grant1["points"])
+        assert future.result(timeout=1).worker_id == w1
+        reply2 = upload(coord, w2, grant2["lease_id"], grant2["points"])
+        assert reply2["duplicates"] == 1
+        text = coord.registry.render_text()
+        assert "cluster_speculative_wins_total 0" in text
+        assert "cluster_speculative_wasted_total 1" in text
+
+    def test_expiry_with_live_duplicate_spares_the_future(self):
+        coord = spec_coord(batch=1)
+        with coord._dur_lock:
+            coord._durations.record(0.01)
+        future = coord.submit(one_spec(3, "survivor"), None)
+        w1 = register(coord)
+        w2 = register(coord)
+        grant1 = coord.lease(protocol.lease_request(w1, 1))
+        assert coord.speculate_stragglers(now=time.time() + 60.0) == 1
+        grant2 = coord.lease(protocol.lease_request(w2, 1))
+        # Only the original lease dies; a duplicate copy is still live:
+        # the future must NOT fail — the duplicate IS the retry.
+        coord._leases[grant1["lease_id"]].deadline_unix = time.time() - 1.0
+        assert coord.expire_stale() == 1
+        assert not future.done()
+        reply2 = upload(coord, w2, grant2["lease_id"], grant2["points"])
+        assert reply2["resolved"] == 1
+        assert future.result(timeout=1).worker_id == w2
+
+    def test_expiry_of_every_copy_fails_the_future(self):
+        coord = spec_coord(batch=1)
+        with coord._dur_lock:
+            coord._durations.record(0.01)
+        future = coord.submit(one_spec(5, "dead"), None)
+        w1 = register(coord)
+        w2 = register(coord)
+        coord.lease(protocol.lease_request(w1, 1))
+        assert coord.speculate_stragglers(now=time.time() + 60.0) == 1
+        coord.lease(protocol.lease_request(w2, 1))
+        # Both workers go silent: no copy is live, so the point charges
+        # an attempt (the scheduler's retry loop re-enqueues it).
+        assert coord.expire_stale(now=time.time() + 60.0) == 2
+        with pytest.raises(Exception) as err:
+            future.result(timeout=1)
+        assert "lease deadline missed" in str(err.value)
+
+    def test_disabled_speculation_never_launches(self):
+        coord = spec_coord(
+            speculation=SpeculationConfig(enabled=False), batch=1
+        )
+        with coord._dur_lock:
+            for _ in range(5):
+                coord._durations.record(0.01)
+        coord.submit(one_spec(4, "nospec"), None)
+        wid = register(coord)
+        coord.lease(protocol.lease_request(wid, 1))
+        assert coord.speculate_stragglers(now=time.time() + 60.0) == 0
+
+    def test_stats_expose_speculation(self):
+        coord = spec_coord()
+        stats = coord.stats()["speculation"]
+        assert stats["enabled"] is True
+        with coord._dur_lock:
+            coord._durations.record(2.0)
+        assert coord.stats()["speculation"]["delay_s"] is not None
+
+
+# -- engine seam ----------------------------------------------------------
+
+
+class TestEngineSeam:
+    def test_policy_dispatch_bit_identical_and_manifest_tenant(self, tmp_path):
+        specs = [one_spec(i, f"seam{i}") for i in range(4)]
+        serial = run_points(specs, max_workers=1)
+        fair = run_points(
+            specs,
+            max_workers=2,
+            run_label="sched-seam",
+            tenant="alice",
+            policy="wfq",
+        )
+        assert [point_row(r, SCALE) for r in serial] == [
+            point_row(r, SCALE) for r in fair
+        ]
+        run_dirs = sorted(runs_dir().glob("sched-seam-*"))
+        assert run_dirs, "run manifest missing"
+        manifest = RunManifest.load(run_dirs[-1] / "manifest.json")
+        assert manifest.tenant == "alice"
+        listing = list_runs(runs_dir())
+        assert "tenant=alice" in listing
